@@ -1,0 +1,217 @@
+//! A bank account with conditional withdrawals.
+//!
+//! This is Weihl's classic example of return-value-aware synchronisation:
+//! two *successful* withdrawals commute with each other (if both succeeded in
+//! one order they succeed and produce the same balance in the other), and a
+//! failed withdrawal commutes with another failed withdrawal, but a deposit
+//! does not commute with a successful withdrawal that it may have enabled.
+//! The step-level conflict relation captures this; the operation-level
+//! relation has to assume the worst.
+
+use obase_core::error::TypeError;
+use obase_core::object::SemanticType;
+use obase_core::op::{LocalStep, Operation};
+use obase_core::value::Value;
+
+/// A bank account with `Deposit(n)`, `Withdraw(n)` and `Balance()`
+/// operations. Amounts must be non-negative; `Withdraw` returns `true` and
+/// debits the account if the balance suffices, otherwise returns `false` and
+/// leaves the balance unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct Account {
+    initial: i64,
+}
+
+impl Account {
+    /// Creates an account type whose objects start with the given balance.
+    pub fn with_initial(initial: i64) -> Self {
+        Account { initial }
+    }
+
+    fn balance(&self, state: &Value) -> Result<i64, TypeError> {
+        state.as_int().ok_or_else(|| TypeError::BadState {
+            type_name: "Account".into(),
+            expected: "Int balance".into(),
+        })
+    }
+
+    fn amount(&self, op: &Operation) -> Result<i64, TypeError> {
+        let n = op.arg_int(0).ok_or_else(|| TypeError::BadArguments {
+            type_name: "Account".into(),
+            op: op.clone(),
+            expected: "non-negative Int amount".into(),
+        })?;
+        if n < 0 {
+            return Err(TypeError::BadArguments {
+                type_name: "Account".into(),
+                op: op.clone(),
+                expected: "non-negative Int amount".into(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl SemanticType for Account {
+    fn type_name(&self) -> &str {
+        "Account"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(self.initial)
+    }
+
+    fn apply(&self, state: &Value, op: &Operation) -> Result<(Value, Value), TypeError> {
+        let bal = self.balance(state)?;
+        match op.name.as_str() {
+            "Balance" => Ok((Value::Int(bal), Value::Int(bal))),
+            "Deposit" => {
+                let n = self.amount(op)?;
+                Ok((Value::Int(bal + n), Value::Unit))
+            }
+            "Withdraw" => {
+                let n = self.amount(op)?;
+                if bal >= n {
+                    Ok((Value::Int(bal - n), Value::Bool(true)))
+                } else {
+                    Ok((Value::Int(bal), Value::Bool(false)))
+                }
+            }
+            _ if op.is_abort() => Ok((Value::Int(bal), Value::Unit)),
+            _ => Err(TypeError::UnknownOperation {
+                type_name: self.type_name().into(),
+                op: op.clone(),
+            }),
+        }
+    }
+
+    fn ops_conflict(&self, a: &Operation, b: &Operation) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        match (a.name.as_str(), b.name.as_str()) {
+            ("Balance", "Balance") => false,
+            // Deposits commute with deposits (addition is commutative).
+            ("Deposit", "Deposit") => false,
+            // Everything involving Withdraw or Balance-vs-update must be
+            // treated pessimistically at the operation level: the outcome of
+            // a withdrawal depends on the balance.
+            _ => true,
+        }
+    }
+
+    fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        let succeeded = |s: &LocalStep| s.ret.as_bool() == Some(true);
+        match (a.op.name.as_str(), b.op.name.as_str()) {
+            ("Balance", "Balance") => false,
+            ("Deposit", "Deposit") => false,
+            // Two successful withdrawals commute: if both succeed in one
+            // order from some balance, they succeed in the other order and
+            // leave the same balance. Two failed withdrawals trivially
+            // commute. A mixed pair does not.
+            ("Withdraw", "Withdraw") => succeeded(a) != succeeded(b),
+            // A *successful* withdrawal followed by a deposit commutes with
+            // it (the withdrawal succeeds and yields the same balance in
+            // either order). A *failed* withdrawal does not: the deposit may
+            // have been what would let it succeed, so swapping the two
+            // changes the recorded outcome.
+            ("Withdraw", "Deposit") => !succeeded(a),
+            ("Deposit", "Withdraw") => true,
+            // Balance observations conflict with any update and vice versa
+            // (a zero-amount update commutes, but keep it simple and sound).
+            _ => {
+                let amount_zero = |s: &LocalStep| s.op.arg_int(0) == Some(0);
+                !(matches!(
+                    (a.op.name.as_str(), b.op.name.as_str()),
+                    ("Balance", "Deposit") | ("Deposit", "Balance")
+                ) && (amount_zero(a) || amount_zero(b)))
+            }
+        }
+    }
+
+    fn op_is_readonly(&self, op: &Operation) -> bool {
+        op.name == "Balance" || op.is_abort()
+    }
+
+    fn sample_states(&self) -> Vec<Value> {
+        vec![Value::Int(0), Value::Int(5), Value::Int(100)]
+    }
+
+    fn sample_operations(&self) -> Vec<Operation> {
+        vec![
+            Operation::nullary("Balance"),
+            Operation::unary("Deposit", 5),
+            Operation::unary("Deposit", 0),
+            Operation::unary("Withdraw", 3),
+            Operation::unary("Withdraw", 50),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_core::conflict::validate_conflict_spec;
+
+    #[test]
+    fn deposit_withdraw_semantics() {
+        let a = Account::with_initial(10);
+        assert_eq!(a.initial_state(), Value::Int(10));
+        let (s, r) = a
+            .apply(&Value::Int(10), &Operation::unary("Withdraw", 4))
+            .unwrap();
+        assert_eq!(s, Value::Int(6));
+        assert_eq!(r, Value::Bool(true));
+        let (s, r) = a
+            .apply(&Value::Int(6), &Operation::unary("Withdraw", 100))
+            .unwrap();
+        assert_eq!(s, Value::Int(6));
+        assert_eq!(r, Value::Bool(false));
+        let (s, _) = a
+            .apply(&Value::Int(6), &Operation::unary("Deposit", 10))
+            .unwrap();
+        assert_eq!(s, Value::Int(16));
+        let (_, r) = a.apply(&Value::Int(16), &Operation::nullary("Balance")).unwrap();
+        assert_eq!(r, Value::Int(16));
+    }
+
+    #[test]
+    fn negative_amounts_rejected() {
+        let a = Account::default();
+        assert!(a
+            .apply(&Value::Int(0), &Operation::unary("Deposit", -1))
+            .is_err());
+        assert!(a
+            .apply(&Value::Int(0), &Operation::unary("Withdraw", -1))
+            .is_err());
+    }
+
+    #[test]
+    fn successful_withdrawals_commute_at_step_level() {
+        let a = Account::default();
+        let w_ok = LocalStep::new(Operation::unary("Withdraw", 3), true);
+        let w_ok2 = LocalStep::new(Operation::unary("Withdraw", 5), true);
+        let w_fail = LocalStep::new(Operation::unary("Withdraw", 50), false);
+        assert!(!a.steps_conflict(&w_ok, &w_ok2));
+        assert!(!a.steps_conflict(&w_fail, &w_fail.clone()));
+        assert!(a.steps_conflict(&w_ok, &w_fail));
+        // Operation level must stay pessimistic.
+        assert!(a.ops_conflict(&w_ok.op, &w_ok2.op));
+    }
+
+    #[test]
+    fn deposits_commute() {
+        let a = Account::default();
+        let d1 = Operation::unary("Deposit", 1);
+        let d2 = Operation::unary("Deposit", 2);
+        assert!(!a.ops_conflict(&d1, &d2));
+    }
+
+    #[test]
+    fn spec_is_sound() {
+        assert!(validate_conflict_spec(&Account::default(), 2).is_empty());
+    }
+}

@@ -1,0 +1,594 @@
+//! A from-scratch B-tree: the physical structure behind dictionary objects.
+//!
+//! Section 2 of the paper motivates the intra-/inter-object separation with
+//! "an object representing a dictionary data type (with methods Lookup,
+//! Insert, and Delete) might be implemented as a B-tree. Thus, one of the many
+//! special B-tree algorithms could be used for intra-object synchronisation by
+//! this object." This module supplies that substrate: an order-configurable
+//! in-memory B-tree with insert, lookup, delete, ordered iteration and range
+//! scans, implemented with the classic preemptive-split insertion and
+//! borrow-or-merge deletion algorithms.
+//!
+//! The tree is deliberately single-threaded; the *logical* concurrency of
+//! dictionary objects is governed by the key-wise conflict specification in
+//! [`crate::dict`], and intra-object scheduling is the concern of the
+//! scheduler crates. What this module contributes is a faithful, fully tested
+//! physical dictionary that the examples and experiment E6 use as the backing
+//! store of large dictionary objects.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// Minimum degree lower bound: a node holds between `t - 1` and `2t - 1`
+/// keys (except the root, which may hold fewer).
+const MIN_DEGREE_FLOOR: usize = 2;
+
+#[derive(Clone, Debug)]
+struct Node<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    children: Vec<Box<Node<K, V>>>,
+}
+
+impl<K, V> Node<K, V> {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// An ordered map implemented as a B-tree of minimum degree `t`.
+#[derive(Clone)]
+pub struct BTree<K, V> {
+    root: Box<Node<K, V>>,
+    t: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for BTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Creates an empty B-tree with the given minimum degree (clamped to at
+    /// least 2). A node holds at most `2t - 1` keys.
+    pub fn new(min_degree: usize) -> Self {
+        BTree {
+            root: Box::new(Node::leaf()),
+            t: min_degree.max(MIN_DEGREE_FLOOR),
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree's height (a single leaf root has height 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while !node.is_leaf() {
+            node = &node.children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &self.root;
+        loop {
+            match node.keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                Ok(i) => return Some(&node.vals[i]),
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    node = &node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a key/value pair, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.root.len() == 2 * self.t - 1 {
+            // Split the root: the tree grows by one level.
+            let mut new_root = Box::new(Node::leaf());
+            std::mem::swap(&mut new_root, &mut self.root);
+            self.root.children.push(new_root);
+            self.split_child(0, RootMarker);
+        }
+        let t = self.t;
+        let old = Self::insert_nonfull(&mut self.root, key, value, t);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_nonfull(node: &mut Node<K, V>, key: K, value: V, t: usize) -> Option<V> {
+        match node.keys.binary_search(&key) {
+            Ok(i) => Some(std::mem::replace(&mut node.vals[i], value)),
+            Err(i) => {
+                if node.is_leaf() {
+                    node.keys.insert(i, key);
+                    node.vals.insert(i, value);
+                    None
+                } else {
+                    let mut i = i;
+                    if node.children[i].len() == 2 * t - 1 {
+                        Self::split_child_of(node, i, t);
+                        match node.keys[i].cmp(&key) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Equal => {
+                                return Some(std::mem::replace(&mut node.vals[i], value));
+                            }
+                            std::cmp::Ordering::Greater => {}
+                        }
+                    }
+                    Self::insert_nonfull(&mut node.children[i], key, value, t)
+                }
+            }
+        }
+    }
+
+    fn split_child(&mut self, index: usize, _root: RootMarker) {
+        let t = self.t;
+        Self::split_child_of(&mut self.root, index, t);
+    }
+
+    /// Splits the full child `node.children[index]` around its median key.
+    fn split_child_of(node: &mut Node<K, V>, index: usize, t: usize) {
+        let child = &mut node.children[index];
+        debug_assert_eq!(child.len(), 2 * t - 1);
+        let mut right = Box::new(Node::leaf());
+        right.keys = child.keys.split_off(t);
+        right.vals = child.vals.split_off(t);
+        if !child.is_leaf() {
+            right.children = child.children.split_off(t);
+        }
+        let median_key = child.keys.pop().expect("median key");
+        let median_val = child.vals.pop().expect("median value");
+        node.keys.insert(index, median_key);
+        node.vals.insert(index, median_val);
+        node.children.insert(index + 1, right);
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let t = self.t;
+        let removed = Self::remove_from(&mut self.root, key, t);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the tree if the root became an empty internal node.
+        if self.root.keys.is_empty() && !self.root.is_leaf() {
+            let child = self.root.children.remove(0);
+            self.root = child;
+        }
+        removed
+    }
+
+    fn remove_from<Q>(node: &mut Node<K, V>, key: &Q, t: usize) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match node.keys.binary_search_by(|k| k.borrow().cmp(key)) {
+            Ok(i) => {
+                if node.is_leaf() {
+                    node.keys.remove(i);
+                    Some(node.vals.remove(i))
+                } else if node.children[i].len() >= t {
+                    // Replace with predecessor.
+                    let (pk, pv) = Self::pop_max(&mut node.children[i], t);
+                    node.keys[i] = pk;
+                    Some(std::mem::replace(&mut node.vals[i], pv))
+                } else if node.children[i + 1].len() >= t {
+                    // Replace with successor.
+                    let (sk, sv) = Self::pop_min(&mut node.children[i + 1], t);
+                    node.keys[i] = sk;
+                    Some(std::mem::replace(&mut node.vals[i], sv))
+                } else {
+                    // Merge children around the key, then recurse.
+                    Self::merge_children(node, i);
+                    Self::remove_from(&mut node.children[i], key, t)
+                }
+            }
+            Err(i) => {
+                if node.is_leaf() {
+                    return None;
+                }
+                let mut i = i;
+                if node.children[i].len() < t {
+                    i = Self::fill_child(node, i, t);
+                }
+                Self::remove_from(&mut node.children[i], key, t)
+            }
+        }
+    }
+
+    fn pop_max(node: &mut Node<K, V>, t: usize) -> (K, V) {
+        if node.is_leaf() {
+            let k = node.keys.pop().expect("non-empty");
+            let v = node.vals.pop().expect("non-empty");
+            (k, v)
+        } else {
+            let last = node.children.len() - 1;
+            let idx = if node.children[last].len() < t {
+                Self::fill_child(node, last, t)
+            } else {
+                last
+            };
+            Self::pop_max(&mut node.children[idx], t)
+        }
+    }
+
+    fn pop_min(node: &mut Node<K, V>, t: usize) -> (K, V) {
+        if node.is_leaf() {
+            let k = node.keys.remove(0);
+            let v = node.vals.remove(0);
+            (k, v)
+        } else {
+            let idx = if node.children[0].len() < t {
+                Self::fill_child(node, 0, t)
+            } else {
+                0
+            };
+            Self::pop_min(&mut node.children[idx], t)
+        }
+    }
+
+    /// Ensures `node.children[i]` has at least `t` keys by borrowing from a
+    /// sibling or merging. Returns the index of the child that now covers the
+    /// original key range.
+    fn fill_child(node: &mut Node<K, V>, i: usize, t: usize) -> usize {
+        if i > 0 && node.children[i - 1].len() >= t {
+            // Borrow from the left sibling through the separator.
+            let (sep_k, sep_v) = {
+                let left = &mut node.children[i - 1];
+                let k = left.keys.pop().expect("left non-empty");
+                let v = left.vals.pop().expect("left non-empty");
+                let child = if left.is_leaf() {
+                    None
+                } else {
+                    Some(left.children.pop().expect("left has children"))
+                };
+                let sep_k = std::mem::replace(&mut node.keys[i - 1], k);
+                let sep_v = std::mem::replace(&mut node.vals[i - 1], v);
+                if let Some(c) = child {
+                    node.children[i].children.insert(0, c);
+                }
+                (sep_k, sep_v)
+            };
+            node.children[i].keys.insert(0, sep_k);
+            node.children[i].vals.insert(0, sep_v);
+            i
+        } else if i + 1 < node.children.len() && node.children[i + 1].len() >= t {
+            // Borrow from the right sibling through the separator.
+            let right = &mut node.children[i + 1];
+            let k = right.keys.remove(0);
+            let v = right.vals.remove(0);
+            let child = if right.is_leaf() {
+                None
+            } else {
+                Some(right.children.remove(0))
+            };
+            let sep_k = std::mem::replace(&mut node.keys[i], k);
+            let sep_v = std::mem::replace(&mut node.vals[i], v);
+            node.children[i].keys.push(sep_k);
+            node.children[i].vals.push(sep_v);
+            if let Some(c) = child {
+                node.children[i].children.push(c);
+            }
+            i
+        } else if i + 1 < node.children.len() {
+            Self::merge_children(node, i);
+            i
+        } else {
+            Self::merge_children(node, i - 1);
+            i - 1
+        }
+    }
+
+    /// Merges `children[i]`, the separator at `i`, and `children[i + 1]` into
+    /// a single child at position `i`.
+    fn merge_children(node: &mut Node<K, V>, i: usize) {
+        let right = node.children.remove(i + 1);
+        let sep_k = node.keys.remove(i);
+        let sep_v = node.vals.remove(i);
+        let left = &mut node.children[i];
+        left.keys.push(sep_k);
+        left.vals.push(sep_v);
+        left.keys.extend(right.keys);
+        left.vals.extend(right.vals);
+        left.children.extend(right.children);
+    }
+
+    /// Iterates over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<'a, K, V>(node: &'a Node<K, V>, out: &mut Vec<(&'a K, &'a V)>) {
+            if node.is_leaf() {
+                out.extend(node.keys.iter().zip(node.vals.iter()));
+            } else {
+                for i in 0..node.keys.len() {
+                    walk(&node.children[i], out);
+                    out.push((&node.keys[i], &node.vals[i]));
+                }
+                walk(node.children.last().expect("internal node"), out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out.into_iter()
+    }
+
+    /// Returns the entries with keys in `[low, high]`, in key order.
+    pub fn range<Q>(&self, low: &Q, high: &Q) -> Vec<(&K, &V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.iter()
+            .filter(|(k, _)| {
+                let k = (*k).borrow();
+                k >= low && k <= high
+            })
+            .collect()
+    }
+
+    /// The smallest key, if any.
+    pub fn min_key(&self) -> Option<&K> {
+        let mut node = &self.root;
+        if node.keys.is_empty() {
+            return None;
+        }
+        while !node.is_leaf() {
+            node = &node.children[0];
+        }
+        node.keys.first()
+    }
+
+    /// The largest key, if any.
+    pub fn max_key(&self) -> Option<&K> {
+        let mut node = &self.root;
+        if node.keys.is_empty() {
+            return None;
+        }
+        while !node.is_leaf() {
+            node = node.children.last().expect("internal node");
+        }
+        node.keys.last()
+    }
+
+    /// Verifies the structural invariants of the B-tree (key ordering, node
+    /// occupancy, uniform leaf depth). Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn check<K: Ord + Clone, V>(
+            node: &Node<K, V>,
+            t: usize,
+            is_root: bool,
+            lower: Option<&K>,
+            upper: Option<&K>,
+        ) -> Result<usize, String> {
+            if node.keys.len() != node.vals.len() {
+                return Err("keys/vals length mismatch".into());
+            }
+            if !is_root && node.keys.len() < t - 1 {
+                return Err(format!("underfull node: {} keys", node.keys.len()));
+            }
+            if node.keys.len() > 2 * t - 1 {
+                return Err(format!("overfull node: {} keys", node.keys.len()));
+            }
+            for w in node.keys.windows(2) {
+                if w[0] >= w[1] {
+                    return Err("keys out of order".into());
+                }
+            }
+            if let (Some(lo), Some(first)) = (lower, node.keys.first()) {
+                if first <= lo {
+                    return Err("key below lower bound".into());
+                }
+            }
+            if let (Some(hi), Some(last)) = (upper, node.keys.last()) {
+                if last >= hi {
+                    return Err("key above upper bound".into());
+                }
+            }
+            if node.is_leaf() {
+                Ok(1)
+            } else {
+                if node.children.len() != node.keys.len() + 1 {
+                    return Err("child count mismatch".into());
+                }
+                let mut depth = None;
+                for i in 0..node.children.len() {
+                    let lo = if i == 0 { lower } else { Some(&node.keys[i - 1]) };
+                    let hi = if i == node.keys.len() {
+                        upper
+                    } else {
+                        Some(&node.keys[i])
+                    };
+                    let d = check(&node.children[i], t, false, lo, hi)?;
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) if prev != d => return Err("leaves at different depths".into()),
+                        _ => {}
+                    }
+                }
+                Ok(depth.expect("at least one child") + 1)
+            }
+        }
+        check(&self.root, self.t, true, None, None).map(|_| ())?;
+        let counted = self.iter().count();
+        if counted != self.len {
+            return Err(format!("len {} but {} entries", self.len, counted));
+        }
+        Ok(())
+    }
+}
+
+/// Zero-sized marker making the root-split call sites self-documenting.
+struct RootMarker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_small() {
+        let mut t: BTree<i32, String> = BTree::new(2);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(2, "two".into()), None);
+        assert_eq!(t.insert(1, "one".into()), None);
+        assert_eq!(t.insert(3, "three".into()), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&2).map(String::as_str), Some("two"));
+        assert_eq!(t.insert(2, "TWO".into()), Some("two".into()));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.remove(&1), Some("one".into()));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains_key(&3));
+        assert!(!t.contains_key(&1));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grows_and_shrinks_in_height() {
+        let mut t: BTree<u32, u32> = BTree::new(2);
+        for i in 0..100 {
+            t.insert(i, i * 10);
+            t.check_invariants().unwrap();
+        }
+        assert!(t.height() > 1);
+        assert_eq!(t.len(), 100);
+        for i in 0..100 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        for i in 0..100 {
+            assert_eq!(t.remove(&i), Some(i * 10));
+            t.check_invariants().unwrap();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn ordered_iteration_and_range() {
+        let mut t: BTree<i32, i32> = BTree::new(3);
+        for i in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            t.insert(i, -i);
+        }
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+        let range: Vec<i32> = t.range(&3, &6).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(range, vec![3, 4, 5, 6]);
+        assert_eq!(t.min_key(), Some(&0));
+        assert_eq!(t.max_key(), Some(&9));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: BTree<i32, i32> = BTree::default();
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert!(t.range(&0, &10).is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reverse_and_random_orders() {
+        for degree in [2, 3, 4, 8] {
+            let mut t: BTree<i64, i64> = BTree::new(degree);
+            for i in (0..200).rev() {
+                t.insert(i, i);
+            }
+            t.check_invariants().unwrap();
+            // Remove odd keys.
+            for i in (1..200).step_by(2) {
+                assert_eq!(t.remove(&i), Some(i));
+            }
+            t.check_invariants().unwrap();
+            assert_eq!(t.len(), 100);
+            for i in (0..200).step_by(2) {
+                assert!(t.contains_key(&i));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The B-tree behaves exactly like the standard library's BTreeMap
+        /// under an arbitrary mixed workload, and its structural invariants
+        /// hold after every operation batch.
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec((0u8..3, 0i64..64, 0i64..1000), 1..300),
+                                  degree in 2usize..6) {
+            let mut ours: BTree<i64, i64> = BTree::new(degree);
+            let mut reference: BTreeMap<i64, i64> = BTreeMap::new();
+            for (kind, key, val) in ops {
+                match kind {
+                    0 => prop_assert_eq!(ours.insert(key, val), reference.insert(key, val)),
+                    1 => prop_assert_eq!(ours.remove(&key), reference.remove(&key)),
+                    _ => prop_assert_eq!(ours.get(&key), reference.get(&key)),
+                }
+            }
+            ours.check_invariants().unwrap();
+            prop_assert_eq!(ours.len(), reference.len());
+            let ours_entries: Vec<(i64, i64)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
+            let ref_entries: Vec<(i64, i64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(ours_entries, ref_entries);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! A counter with commuting increments.
+//!
+//! `Add(n)` operations commute with one another regardless of their
+//! arguments; only `Get()` observes the value and therefore conflicts with
+//! updates. The counter is the simplest demonstration that the semantic
+//! conflict relation of Definition 3 admits strictly more concurrency than
+//! read/write conflicts: under a read/write model every `Add` would be a
+//! write and all of them would conflict.
+
+use obase_core::error::TypeError;
+use obase_core::object::SemanticType;
+use obase_core::op::{LocalStep, Operation};
+use obase_core::value::Value;
+
+/// An integer counter with `Add(n)` and `Get()` operations.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    initial: i64,
+}
+
+impl Counter {
+    /// Creates a counter with the given initial value.
+    pub fn with_initial(initial: i64) -> Self {
+        Counter { initial }
+    }
+
+    fn state_of(&self, state: &Value) -> Result<i64, TypeError> {
+        state.as_int().ok_or_else(|| TypeError::BadState {
+            type_name: "Counter".into(),
+            expected: "Int".into(),
+        })
+    }
+}
+
+impl SemanticType for Counter {
+    fn type_name(&self) -> &str {
+        "Counter"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(self.initial)
+    }
+
+    fn apply(&self, state: &Value, op: &Operation) -> Result<(Value, Value), TypeError> {
+        let cur = self.state_of(state)?;
+        match op.name.as_str() {
+            "Get" => Ok((Value::Int(cur), Value::Int(cur))),
+            "Add" => {
+                let n = op.arg_int(0).ok_or_else(|| TypeError::BadArguments {
+                    type_name: self.type_name().into(),
+                    op: op.clone(),
+                    expected: "Add(Int)".into(),
+                })?;
+                Ok((Value::Int(cur.wrapping_add(n)), Value::Unit))
+            }
+            _ if op.is_abort() => Ok((Value::Int(cur), Value::Unit)),
+            _ => Err(TypeError::UnknownOperation {
+                type_name: self.type_name().into(),
+                op: op.clone(),
+            }),
+        }
+    }
+
+    fn ops_conflict(&self, a: &Operation, b: &Operation) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        match (a.name.as_str(), b.name.as_str()) {
+            ("Add", "Add") => false,
+            ("Get", "Get") => false,
+            _ => true,
+        }
+    }
+
+    fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        match (a.op.name.as_str(), b.op.name.as_str()) {
+            ("Add", "Add") => false,
+            ("Get", "Get") => false,
+            // An Add of zero commutes with everything.
+            ("Add", "Get") | ("Get", "Add") => {
+                let add = if a.op.name == "Add" { &a.op } else { &b.op };
+                add.arg_int(0) != Some(0)
+            }
+            _ => true,
+        }
+    }
+
+    fn op_is_readonly(&self, op: &Operation) -> bool {
+        op.name == "Get" || op.is_abort()
+    }
+
+    fn sample_states(&self) -> Vec<Value> {
+        vec![Value::Int(0), Value::Int(3), Value::Int(-5)]
+    }
+
+    fn sample_operations(&self) -> Vec<Operation> {
+        vec![
+            Operation::nullary("Get"),
+            Operation::unary("Add", 1),
+            Operation::unary("Add", -2),
+            Operation::unary("Add", 0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_core::conflict::validate_conflict_spec;
+
+    #[test]
+    fn semantics() {
+        let c = Counter::with_initial(10);
+        assert_eq!(c.initial_state(), Value::Int(10));
+        let (s, _) = c.apply(&Value::Int(10), &Operation::unary("Add", 5)).unwrap();
+        assert_eq!(s, Value::Int(15));
+        let (_, v) = c.apply(&Value::Int(15), &Operation::nullary("Get")).unwrap();
+        assert_eq!(v, Value::Int(15));
+        assert!(c.apply(&Value::Unit, &Operation::nullary("Get")).is_err());
+        assert!(c.apply(&Value::Int(0), &Operation::nullary("Add")).is_err());
+    }
+
+    #[test]
+    fn adds_commute_gets_observe() {
+        let c = Counter::default();
+        let add = Operation::unary("Add", 1);
+        let get = Operation::nullary("Get");
+        assert!(!c.ops_conflict(&add, &add));
+        assert!(c.ops_conflict(&add, &get));
+        assert!(c.ops_conflict(&get, &add));
+        assert!(!c.ops_conflict(&get, &get));
+    }
+
+    #[test]
+    fn zero_add_commutes_with_get_at_step_level() {
+        let c = Counter::default();
+        let add0 = LocalStep::new(Operation::unary("Add", 0), ());
+        let add1 = LocalStep::new(Operation::unary("Add", 1), ());
+        let get = LocalStep::new(Operation::nullary("Get"), 0);
+        assert!(!c.steps_conflict(&add0, &get));
+        assert!(c.steps_conflict(&add1, &get));
+    }
+
+    #[test]
+    fn spec_is_sound() {
+        assert!(validate_conflict_spec(&Counter::default(), 3).is_empty());
+    }
+
+    #[test]
+    fn overflow_wraps_rather_than_panicking() {
+        let c = Counter::default();
+        let (s, _) = c
+            .apply(&Value::Int(i64::MAX), &Operation::unary("Add", 1))
+            .unwrap();
+        assert_eq!(s, Value::Int(i64::MIN));
+    }
+}

@@ -1,0 +1,158 @@
+//! A read/write register holding an arbitrary [`Value`].
+//!
+//! The register reproduces the classical database data item inside the
+//! object-base model: `Read` commutes with `Read`, everything else conflicts.
+//! It is the baseline against which the semantic types (counter, account,
+//! queue, ...) demonstrate their extra concurrency.
+
+use obase_core::error::TypeError;
+use obase_core::object::SemanticType;
+use obase_core::op::{LocalStep, Operation};
+use obase_core::value::Value;
+
+/// A register with `Read()` and `Write(v)` operations.
+#[derive(Clone, Debug)]
+pub struct Register {
+    initial: Value,
+}
+
+impl Register {
+    /// Creates a register with the given initial value.
+    pub fn with_initial(initial: Value) -> Self {
+        Register { initial }
+    }
+}
+
+impl Default for Register {
+    fn default() -> Self {
+        Register {
+            initial: Value::Int(0),
+        }
+    }
+}
+
+impl SemanticType for Register {
+    fn type_name(&self) -> &str {
+        "Register"
+    }
+
+    fn initial_state(&self) -> Value {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &Value, op: &Operation) -> Result<(Value, Value), TypeError> {
+        match op.name.as_str() {
+            "Read" => Ok((state.clone(), state.clone())),
+            "Write" => {
+                let v = op.arg(0).cloned().ok_or_else(|| TypeError::BadArguments {
+                    type_name: self.type_name().into(),
+                    op: op.clone(),
+                    expected: "Write(value)".into(),
+                })?;
+                Ok((v, Value::Unit))
+            }
+            _ if op.is_abort() => Ok((state.clone(), Value::Unit)),
+            _ => Err(TypeError::UnknownOperation {
+                type_name: self.type_name().into(),
+                op: op.clone(),
+            }),
+        }
+    }
+
+    fn ops_conflict(&self, a: &Operation, b: &Operation) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        !(a.name == "Read" && b.name == "Read")
+    }
+
+    fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        match (a.op.name.as_str(), b.op.name.as_str()) {
+            ("Read", "Read") => false,
+            // Two writes of the same value commute; a write commutes with a
+            // read that returned the written value only in one direction, so
+            // keep it conservative and call it a conflict.
+            ("Write", "Write") => a.op.arg(0) != b.op.arg(0),
+            _ => true,
+        }
+    }
+
+    fn op_is_readonly(&self, op: &Operation) -> bool {
+        op.name == "Read" || op.is_abort()
+    }
+
+    fn sample_states(&self) -> Vec<Value> {
+        vec![Value::Int(0), Value::Int(7), Value::Str("s".into())]
+    }
+
+    fn sample_operations(&self) -> Vec<Operation> {
+        vec![
+            Operation::nullary("Read"),
+            Operation::unary("Write", 1),
+            Operation::unary("Write", 2),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_core::conflict::validate_conflict_spec;
+
+    #[test]
+    fn read_write_semantics() {
+        let r = Register::default();
+        let (s, v) = r.apply(&Value::Int(3), &Operation::nullary("Read")).unwrap();
+        assert_eq!(s, Value::Int(3));
+        assert_eq!(v, Value::Int(3));
+        let (s, v) = r
+            .apply(&Value::Int(3), &Operation::unary("Write", "x"))
+            .unwrap();
+        assert_eq!(s, Value::Str("x".into()));
+        assert_eq!(v, Value::Unit);
+    }
+
+    #[test]
+    fn bad_operations_rejected() {
+        let r = Register::default();
+        assert!(r.apply(&Value::Int(0), &Operation::nullary("Write")).is_err());
+        assert!(r.apply(&Value::Int(0), &Operation::nullary("Incr")).is_err());
+    }
+
+    #[test]
+    fn initial_state_is_configurable() {
+        let r = Register::with_initial(Value::Str("init".into()));
+        assert_eq!(r.initial_state(), Value::Str("init".into()));
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        let r = Register::default();
+        let read = Operation::nullary("Read");
+        let write = Operation::unary("Write", 1);
+        assert!(!r.ops_conflict(&read, &read));
+        assert!(r.ops_conflict(&read, &write));
+        assert!(r.ops_conflict(&write, &write));
+        // Step level: identical writes commute.
+        let w1 = LocalStep::new(Operation::unary("Write", 1), ());
+        let w1b = LocalStep::new(Operation::unary("Write", 1), ());
+        let w2 = LocalStep::new(Operation::unary("Write", 2), ());
+        assert!(!r.steps_conflict(&w1, &w1b));
+        assert!(r.steps_conflict(&w1, &w2));
+    }
+
+    #[test]
+    fn readonly_classification() {
+        let r = Register::default();
+        assert!(r.op_is_readonly(&Operation::nullary("Read")));
+        assert!(!r.op_is_readonly(&Operation::unary("Write", 1)));
+    }
+
+    #[test]
+    fn spec_is_sound() {
+        assert!(validate_conflict_spec(&Register::default(), 2).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! E1 — flat object-granularity baseline vs nested schedulers on the banking
+//! workload: time one engine run per scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obase_exec::{run, EngineConfig};
+use obase_lock::{FlatObjectScheduler, N2plScheduler};
+use obase_tso::NtoScheduler;
+use obase_workload::{banking, BankingParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workload = banking(&BankingParams {
+        accounts: 8,
+        transactions: 16,
+        skew: 0.6,
+        ..Default::default()
+    });
+    let cfg = EngineConfig {
+        seed: 1,
+        clients: 6,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("e1_flat_vs_nested");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("scheduler", "flat-excl"), |b| {
+        b.iter(|| run(&workload, &mut FlatObjectScheduler::exclusive(), &cfg))
+    });
+    group.bench_function(BenchmarkId::new("scheduler", "n2pl-op"), |b| {
+        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
+    });
+    group.bench_function(BenchmarkId::new("scheduler", "nto-conservative"), |b| {
+        b.iter(|| run(&workload, &mut NtoScheduler::conservative(), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

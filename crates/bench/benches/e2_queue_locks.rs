@@ -1,0 +1,36 @@
+//! E2 — operation-level vs step-level locks on the producer/consumer queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obase_exec::{run, EngineConfig};
+use obase_lock::N2plScheduler;
+use obase_workload::{queues, QueueParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = EngineConfig {
+        seed: 2,
+        clients: 6,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("e2_queue_locks");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for preload in [0usize, 16] {
+        let workload = queues(&QueueParams {
+            queues: 1,
+            producers: 8,
+            consumers: 8,
+            preload,
+            seed: 2,
+        });
+        group.bench_function(BenchmarkId::new("op-locks", preload), |b| {
+            b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
+        });
+        group.bench_function(BenchmarkId::new("step-locks", preload), |b| {
+            b.iter(|| run(&workload, &mut N2plScheduler::step_locks(), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

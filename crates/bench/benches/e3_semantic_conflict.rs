@@ -1,0 +1,36 @@
+//! E3 — semantic (commutativity) conflicts vs read/write conflicts on a
+//! counter hotspot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obase_exec::{run, EngineConfig};
+use obase_lock::{FlatObjectScheduler, N2plScheduler};
+use obase_workload::{counters, CounterParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workload = counters(&CounterParams {
+        counters: 2,
+        transactions: 16,
+        touches_per_txn: 3,
+        read_fraction: 0.1,
+        skew: 1.2,
+        seed: 3,
+    });
+    let cfg = EngineConfig {
+        seed: 3,
+        clients: 8,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("e3_semantic_conflict");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("conflicts", "read-write"), |b| {
+        b.iter(|| run(&workload, &mut FlatObjectScheduler::read_write(), &cfg))
+    });
+    group.bench_function(BenchmarkId::new("conflicts", "semantic"), |b| {
+        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

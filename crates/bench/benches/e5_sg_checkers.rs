@@ -1,0 +1,19 @@
+//! E5 — cost of the serialisability checkers (Theorem 2's SG test, the
+//! Theorem 5 per-object test, and the brute-force oracle) on small random
+//! histories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obase_bench::e5_sg_checkers;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sg_checkers");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("sample_20_histories", |b| {
+        b.iter(|| e5_sg_checkers(20))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 — cost of the core-model analyses (legality, replay, serialisation
+//! graph) as the recorded history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obase_exec::{run, EngineConfig};
+use obase_lock::N2plScheduler;
+use obase_workload::{banking, BankingParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_core_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for txns in [8usize, 32] {
+        let workload = banking(&BankingParams {
+            accounts: 8,
+            transactions: txns,
+            ..Default::default()
+        });
+        let result = run(
+            &workload,
+            &mut N2plScheduler::operation_locks(),
+            &EngineConfig {
+                seed: 8,
+                clients: 8,
+                ..Default::default()
+            },
+        );
+        let history = result.history;
+        group.bench_function(BenchmarkId::new("legality", txns), |b| {
+            b.iter(|| obase_core::legality::is_legal(&history))
+        });
+        group.bench_function(BenchmarkId::new("replay", txns), |b| {
+            b.iter(|| obase_core::replay::final_states(&history).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("serialisation_graph", txns), |b| {
+            b.iter(|| obase_core::sg::serialisation_graph(&history).is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

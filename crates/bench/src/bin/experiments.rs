@@ -1,0 +1,82 @@
+//! The experiment harness binary: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p obase-bench --release --bin experiments            # all experiments
+//! cargo run -p obase-bench --release --bin experiments -- e2 e4   # a subset
+//! cargo run -p obase-bench --release --bin experiments -- --scale 2
+//! ```
+
+use obase_bench as xp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1usize;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes an integer");
+            }
+            other => selected.push(other.to_lowercase()),
+        }
+    }
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    let experiments: Vec<(&str, &str, Box<dyn Fn(usize) -> Vec<xp::Row>>)> = vec![
+        (
+            "e1",
+            "E1 — flat object-granularity baseline vs nested schedulers (banking)",
+            Box::new(xp::e1_flat_vs_nested),
+        ),
+        (
+            "e2",
+            "E2 — operation-level vs step-level locks on a FIFO queue",
+            Box::new(xp::e2_queue_locks),
+        ),
+        (
+            "e3",
+            "E3 — semantic (commutativity) conflicts vs read/write conflicts",
+            Box::new(xp::e3_semantic_conflict),
+        ),
+        (
+            "e4",
+            "E4 — N2PL (blocking) vs NTO (aborting) under rising contention",
+            Box::new(xp::e4_n2pl_vs_nto),
+        ),
+        (
+            "e5",
+            "E5 — acceptance and soundness of the Theorem 2 / Theorem 5 tests",
+            Box::new(|s| xp::e5_sg_checkers(60 * s)),
+        ),
+        (
+            "e6",
+            "E6 — mixed per-object intra-object policies + inter-object certifier",
+            Box::new(xp::e6_mixed_cc),
+        ),
+        (
+            "e7",
+            "E7 — internal parallelism of methods (Par fan-out)",
+            Box::new(xp::e7_internal_parallelism),
+        ),
+        (
+            "e8",
+            "E8 — cost of the core-model analyses as histories grow",
+            Box::new(xp::e8_core_scaling),
+        ),
+    ];
+
+    for (key, title, f) in experiments {
+        if !want(key) {
+            continue;
+        }
+        eprintln!("running {key}...");
+        let rows = f(scale);
+        println!("{}", xp::render_table(title, &rows));
+    }
+}

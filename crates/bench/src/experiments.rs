@@ -1,0 +1,416 @@
+//! Experiment implementations (see DESIGN.md §5 for the index).
+
+use obase_core::sched::Scheduler;
+use obase_exec::{run, EngineConfig, MixedScheduler, RunMetrics, WorkloadSpec};
+use obase_lock::{FlatObjectScheduler, N2plScheduler};
+use obase_occ::SgtCertifier;
+use obase_tso::NtoScheduler;
+use obase_workload as wl;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One row of an experiment table: a label plus named numeric columns.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (e.g. the scheduler or the swept parameter value).
+    pub label: String,
+    /// Named measurements, in insertion order of the experiment.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a column.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.values.insert(key.to_owned(), value);
+        self
+    }
+}
+
+/// Renders rows as a Markdown table.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    for r in rows {
+        for k in r.values.keys() {
+            if !columns.contains(k) {
+                columns.push(k.clone());
+            }
+        }
+    }
+    let mut out = format!("### {title}\n\n| {} |", "case");
+    for c in &columns {
+        out.push_str(&format!(" {c} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &columns {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("| {} |", r.label));
+        for c in &columns {
+            match r.values.get(c) {
+                Some(v) => out.push_str(&format!(" {v:.3} |")),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn config(seed: u64, clients: usize) -> EngineConfig {
+    EngineConfig {
+        seed,
+        clients,
+        ..Default::default()
+    }
+}
+
+fn run_and_check(workload: &WorkloadSpec, scheduler: &mut dyn Scheduler, cfg: &EngineConfig) -> RunMetrics {
+    let result = run(workload, scheduler, cfg);
+    assert!(
+        obase_core::sg::certifies_serialisable(&result.history),
+        "{} produced a non-serialisable history",
+        result.metrics.scheduler
+    );
+    result.metrics
+}
+
+fn standard_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(FlatObjectScheduler::exclusive()),
+        Box::new(FlatObjectScheduler::read_write()),
+        Box::new(N2plScheduler::operation_locks()),
+        Box::new(N2plScheduler::step_locks()),
+        Box::new(NtoScheduler::conservative()),
+        Box::new(NtoScheduler::provisional()),
+        Box::new(SgtCertifier::new()),
+    ]
+}
+
+fn metrics_row(label: &str, m: &RunMetrics) -> Row {
+    Row::new(label)
+        .with("committed", m.committed as f64)
+        .with("aborts", m.aborts as f64)
+        .with("blocked", m.blocked_events as f64)
+        .with("rounds", m.rounds as f64)
+        .with("throughput", m.throughput())
+}
+
+/// E1 — flat (object-as-data-item) baseline vs nested schedulers across
+/// object-base sizes (Section 1's Gemstone discussion).
+pub fn e1_flat_vs_nested(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &accounts in &[4usize, 16, 64] {
+        let workload = wl::banking(&wl::BankingParams {
+            accounts,
+            transactions: 24 * scale,
+            skew: 0.6,
+            ..Default::default()
+        });
+        for mut s in standard_schedulers() {
+            let m = run_and_check(&workload, s.as_mut(), &config(1001, 8));
+            rows.push(metrics_row(&format!("{} / {accounts} accounts", m.scheduler), &m));
+        }
+    }
+    rows
+}
+
+/// E2 — operation-level vs step-level locks on the producer/consumer queue
+/// (the Enqueue/Dequeue example of Section 5.1), sweeping the initial queue
+/// length.
+pub fn e2_queue_locks(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &preload in &[0usize, 4, 16, 64] {
+        let workload = wl::queues(&wl::QueueParams {
+            queues: 1,
+            producers: 10 * scale,
+            consumers: 10 * scale,
+            preload,
+            seed: 1002,
+        });
+        for (label, mut s) in [
+            (
+                "n2pl-op",
+                Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
+            ),
+            ("n2pl-step", Box::new(N2plScheduler::step_locks())),
+        ] {
+            let m = run_and_check(&workload, s.as_mut(), &config(1002, 6));
+            rows.push(metrics_row(&format!("{label} / preload {preload}"), &m));
+        }
+    }
+    rows
+}
+
+/// E3 — semantic (commutativity-based) conflicts vs read/write conflicts on a
+/// counter hotspot (Definition 3's payoff).
+pub fn e3_semantic_conflict(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &counters in &[1usize, 2, 8] {
+        let workload = wl::counters(&wl::CounterParams {
+            counters,
+            transactions: 24 * scale,
+            touches_per_txn: 3,
+            read_fraction: 0.1,
+            skew: 1.0,
+            seed: 1003,
+        });
+        for (label, mut s) in [
+            (
+                "flat-rw (read/write)",
+                Box::new(FlatObjectScheduler::read_write()) as Box<dyn Scheduler>,
+            ),
+            ("n2pl-op (semantic)", Box::new(N2plScheduler::operation_locks())),
+        ] {
+            let m = run_and_check(&workload, s.as_mut(), &config(1003, 8));
+            rows.push(metrics_row(&format!("{label} / {counters} hot counters"), &m));
+        }
+    }
+    rows
+}
+
+/// E4 — N2PL blocks, NTO aborts: behaviour under rising contention
+/// (Section 5.1 vs 5.2), sweeping the Zipf skew of a dictionary mix.
+pub fn e4_n2pl_vs_nto(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &skew in &[0.0f64, 0.8, 1.4] {
+        let workload = wl::dictionary(&wl::DictionaryParams {
+            dictionaries: 2,
+            keys: 16,
+            transactions: 24 * scale,
+            ops_per_txn: 3,
+            lookup_fraction: 0.4,
+            key_skew: skew,
+            seed: 1004,
+        });
+        for mut s in [
+            Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
+            Box::new(NtoScheduler::conservative()),
+            Box::new(NtoScheduler::provisional()),
+        ] {
+            let m = run_and_check(&workload, s.as_mut(), &config(1004, 8));
+            rows.push(metrics_row(&format!("{} / skew {skew:.1}", m.scheduler), &m));
+        }
+    }
+    rows
+}
+
+/// E5 — soundness and tightness of the graph tests: fraction of random legal
+/// interleavings accepted by the SG test (Theorem 2) and by the per-object
+/// condition (Theorem 5), against the brute-force serialisability oracle.
+pub fn e5_sg_checkers(samples: usize) -> Vec<Row> {
+    use obase_core::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1005);
+    let mut sg_accepts = 0usize;
+    let mut t5_accepts = 0usize;
+    let mut oracle_accepts = 0usize;
+    let mut sg_sound = true;
+    let mut t5_sound = true;
+    for _ in 0..samples {
+        // Two or three transactions over two registers, random interleaving.
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(obase_adt::Register::default()));
+        let y = base.add_object("y", Arc::new(obase_adt::Register::default()));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let txns: Vec<ExecId> = (0..rng.gen_range(2..=3))
+            .map(|i| b.begin_top_level(format!("T{i}")))
+            .collect();
+        let mut remaining: Vec<usize> = txns.iter().map(|_| 2).collect();
+        while remaining.iter().any(|&r| r > 0) {
+            let i = rng.gen_range(0..txns.len());
+            if remaining[i] == 0 {
+                continue;
+            }
+            remaining[i] -= 1;
+            let o = if rng.gen_bool(0.5) { x } else { y };
+            let (m, e) = b.invoke(txns[i], o, "m", []);
+            let op = if rng.gen_bool(0.5) {
+                Operation::nullary("Read")
+            } else {
+                Operation::unary("Write", rng.gen_range(0..3))
+            };
+            b.local_applied(e, op).unwrap();
+            b.complete_invoke(m, Value::Unit);
+        }
+        let h = b.build();
+        let sg_ok = obase_core::sg::certifies_serialisable(&h);
+        let t5_ok = obase_core::local_graphs::theorem5_condition_holds(&h);
+        let oracle_ok = obase_core::equivalence::is_serialisable_bruteforce(&h, 1024);
+        sg_accepts += sg_ok as usize;
+        t5_accepts += t5_ok as usize;
+        oracle_accepts += oracle_ok as usize;
+        if sg_ok && !oracle_ok {
+            sg_sound = false;
+        }
+        if t5_ok && !oracle_ok {
+            t5_sound = false;
+        }
+    }
+    let n = samples as f64;
+    vec![
+        Row::new("SG test (Theorem 2)")
+            .with("accepted_fraction", sg_accepts as f64 / n)
+            .with("sound", f64::from(sg_sound as u8)),
+        Row::new("per-object test (Theorem 5)")
+            .with("accepted_fraction", t5_accepts as f64 / n)
+            .with("sound", f64::from(t5_sound as u8)),
+        Row::new("brute-force oracle")
+            .with("accepted_fraction", oracle_accepts as f64 / n)
+            .with("sound", 1.0),
+    ]
+}
+
+/// E6 — mixed per-object intra-object policies plus the inter-object
+/// certifier, against uniform policies, on a dictionary-heavy mix
+/// (Section 2 / 5.3).
+pub fn e6_mixed_cc(scale: usize) -> Vec<Row> {
+    let workload = wl::dictionary(&wl::DictionaryParams {
+        dictionaries: 3,
+        keys: 32,
+        transactions: 30 * scale,
+        ops_per_txn: 4,
+        lookup_fraction: 0.5,
+        key_skew: 0.8,
+        seed: 1006,
+    });
+    let mut rows = Vec::new();
+    let configs: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("uniform flat-excl", Box::new(FlatObjectScheduler::exclusive())),
+        ("uniform n2pl-op", Box::new(N2plScheduler::operation_locks())),
+        ("uniform occ-sgt", Box::new(SgtCertifier::new())),
+        (
+            "mixed: per-object step locks + certifier",
+            Box::new(
+                MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks())),
+            ),
+        ),
+        (
+            "mixed: certifier only (max intra freedom)",
+            Box::new(MixedScheduler::new()),
+        ),
+    ];
+    for (label, mut s) in configs {
+        let m = run_and_check(&workload, s.as_mut(), &config(1006, 8));
+        rows.push(metrics_row(label, &m));
+    }
+    rows
+}
+
+/// E7 — internal parallelism of methods (Par fan-out), Section 3(c).
+pub fn e7_internal_parallelism(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(parallel, items) in &[(false, 4usize), (true, 4), (false, 8), (true, 8)] {
+        let workload = wl::orders(&wl::OrdersParams {
+            desks: 2,
+            inventories: 8,
+            accounts: 8,
+            transactions: 16 * scale,
+            items_per_order: items,
+            parallel_items: parallel,
+            seed: 1007,
+        });
+        let mut s = N2plScheduler::operation_locks();
+        let m = run_and_check(&workload, &mut s, &config(1007, 4));
+        let label = format!(
+            "{} line items, {}",
+            items,
+            if parallel { "parallel (Par)" } else { "sequential (Seq)" }
+        );
+        rows.push(metrics_row(&label, &m));
+    }
+    rows
+}
+
+/// E8 — cost of the core-model analyses (legality, replay, SG construction)
+/// as the history grows.
+pub fn e8_core_scaling(scale: usize) -> Vec<Row> {
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    for &txns in &[8usize, 32, 64] {
+        let workload = wl::banking(&wl::BankingParams {
+            accounts: 8,
+            transactions: txns * scale,
+            ..Default::default()
+        });
+        let result = run(
+            &workload,
+            &mut N2plScheduler::operation_locks(),
+            &config(1008, 8),
+        );
+        let h = &result.history;
+        let t0 = Instant::now();
+        assert!(obase_core::legality::is_legal(h));
+        let legality_us = t0.elapsed().as_micros() as f64;
+        let t1 = Instant::now();
+        let _ = obase_core::replay::final_states(h).unwrap();
+        let replay_us = t1.elapsed().as_micros() as f64;
+        let t2 = Instant::now();
+        let sg = obase_core::sg::serialisation_graph(h);
+        assert!(sg.is_acyclic());
+        let sg_us = t2.elapsed().as_micros() as f64;
+        rows.push(
+            Row::new(format!("{} transactions ({} steps)", txns * scale, h.step_count()))
+                .with("steps", h.step_count() as f64)
+                .with("legality_us", legality_us)
+                .with("replay_us", replay_us)
+                .with("sg_us", sg_us),
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![
+            Row::new("a").with("x", 1.0).with("y", 2.0),
+            Row::new("b").with("x", 3.0),
+        ];
+        let table = render_table("demo", &rows);
+        assert!(table.contains("### demo"));
+        assert!(table.contains("| a | 1.000 | 2.000 |"));
+        assert!(table.contains("| b | 3.000 | - |"));
+    }
+
+    #[test]
+    fn e5_small_sample_is_sound() {
+        let rows = e5_sg_checkers(6);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.values["sound"], 1.0, "{} unsound", r.label);
+        }
+    }
+
+    #[test]
+    fn e2_small_scale_runs() {
+        let rows = e2_queue_locks(1);
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn e7_small_scale_runs() {
+        let rows = e7_internal_parallelism(1);
+        assert_eq!(rows.len(), 4);
+        // Parallel line items never take more rounds than sequential ones.
+        let seq = rows[0].values["rounds"];
+        let par = rows[1].values["rounds"];
+        assert!(par <= seq);
+    }
+}

@@ -1,0 +1,18 @@
+//! # obase-bench — the experiment harness
+//!
+//! The paper has no empirical evaluation (it is a theory paper), so the
+//! experiments here reproduce its *qualitative claims* as synthetic
+//! measurements; DESIGN.md carries the experiment index and EXPERIMENTS.md
+//! records the output of this harness. Each `eN` function returns the rows of
+//! one experiment table; the `experiments` binary prints them and the
+//! Criterion benches under `benches/` time the underlying operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    e1_flat_vs_nested, e2_queue_locks, e3_semantic_conflict, e4_n2pl_vs_nto, e5_sg_checkers,
+    e6_mixed_cc, e7_internal_parallelism, e8_core_scaling, render_table, Row,
+};

@@ -1,0 +1,198 @@
+//! Abort semantics (Section 3, "Transaction Failures").
+//!
+//! The model treats abortion as an "abnormal" termination condition: a method
+//! execution may invoke the distinguished `Abort` operation as its last
+//! operation, its parent observes the abortion through the message's return
+//! value, and the usual semantics are
+//!
+//! * **(a)** an aborted method execution has no effect on the state of its
+//!   object — formally, dropping the local steps of aborted executions from
+//!   the per-object step sequence leaves a legal sequence with the same final
+//!   state;
+//! * **(b)** if a method execution aborts then so do all its descendents
+//!   (abortion propagates *down*, never up: a parent may catch a child's
+//!   failure and try an alternative).
+
+use crate::error::LegalityError;
+use crate::history::History;
+use crate::ids::{ExecId, StepId};
+use crate::replay;
+
+/// Checks condition (b): every child of an aborted execution is itself
+/// aborted.
+pub fn check_abort_propagation(h: &History) -> Result<(), LegalityError> {
+    for e in h.execs() {
+        if !e.aborted {
+            continue;
+        }
+        for &child in h.children_of(e.id) {
+            if !h.exec(child).aborted {
+                return Err(LegalityError::AbortNotPropagated {
+                    parent: e.id,
+                    child,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks condition (a): for every object, the subsequence of its local steps
+/// belonging to non-aborted executions is legal on the initial state and
+/// produces the same final state as the full sequence.
+pub fn check_abort_effects(h: &History) -> Result<(), LegalityError> {
+    for o in h.objects_touched() {
+        let full: Vec<StepId> = h.topo_local_steps(o);
+        let committed: Vec<StepId> = full
+            .iter()
+            .copied()
+            .filter(|&s| !h.effectively_aborted(h.exec_of_step(s)))
+            .collect();
+        // (i) the committed subsequence is legal on the initial state.
+        replay::replay_order(h, o, &committed)?;
+        // (ii) full and committed sequences agree on the final state.
+        let full_state = replay::apply_order(h, o, &full);
+        let committed_state = replay::apply_order(h, o, &committed);
+        if full_state != committed_state {
+            return Err(LegalityError::AbortedExecutionHasEffect { object: o });
+        }
+    }
+    Ok(())
+}
+
+/// Checks both abort-semantics conditions.
+pub fn check_abort_semantics(h: &History) -> Result<(), LegalityError> {
+    check_abort_propagation(h)?;
+    check_abort_effects(h)?;
+    Ok(())
+}
+
+/// The executions that aborted directly (their own `aborted` flag is set).
+pub fn aborted_execs(h: &History) -> Vec<ExecId> {
+    h.execs()
+        .iter()
+        .filter(|e| e.aborted)
+        .map(|e| e.id)
+        .collect()
+}
+
+/// The executions that are effectively aborted (they or an ancestor aborted).
+pub fn effectively_aborted_execs(h: &History) -> Vec<ExecId> {
+    h.execs()
+        .iter()
+        .filter(|e| h.effectively_aborted(e.id))
+        .map(|e| e.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::object::ObjectBase;
+    use crate::op::Operation;
+    use crate::testutil::{Counter, IntRegister};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn abort_propagation_violation_detected() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (m, e) = b.invoke(t, x, "m", []);
+        let (m2, _e2) = b.invoke(e, x, "inner", []);
+        b.complete_invoke(m2, Value::Unit);
+        // Abort the parent but not the child.
+        b.abort(e);
+        b.complete_invoke(m, Value::Unit);
+        let h = b.build();
+        assert!(matches!(
+            check_abort_propagation(&h),
+            Err(LegalityError::AbortNotPropagated { .. })
+        ));
+    }
+
+    #[test]
+    fn aborted_write_with_effect_detected() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (m, e) = b.invoke(t, x, "m", []);
+        // The aborted execution writes 5, and nothing undoes it: the final
+        // state with and without the aborted steps differs.
+        b.local_applied(e, Operation::unary("Write", 5)).unwrap();
+        b.abort(e);
+        b.complete_invoke(m, Value::Unit);
+        let h = b.build();
+        assert!(check_abort_propagation(&h).is_ok());
+        assert!(matches!(
+            check_abort_effects(&h),
+            Err(LegalityError::AbortedExecutionHasEffect { .. })
+        ));
+        assert!(check_abort_semantics(&h).is_err());
+    }
+
+    #[test]
+    fn effect_free_abort_is_accepted() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (m, e) = b.invoke(t, x, "m", []);
+        // The aborted execution only read; it has no effect on the state.
+        b.local_applied(e, Operation::nullary("Read")).unwrap();
+        b.abort(e);
+        b.complete_invoke(m, Value::Unit);
+        // A second, committed transaction writes.
+        let t2 = b.begin_top_level("T2");
+        let (m2, e2) = b.invoke(t2, x, "m", []);
+        b.local_applied(e2, Operation::unary("Write", 3)).unwrap();
+        b.complete_invoke(m2, Value::Unit);
+        let h = b.build();
+        assert!(check_abort_semantics(&h).is_ok());
+        assert_eq!(aborted_execs(&h), vec![e]);
+        assert_eq!(effectively_aborted_execs(&h), vec![e]);
+    }
+
+    #[test]
+    fn commuting_aborted_effects_can_cancel() {
+        // A counter where the aborted execution's Add is compensated by an
+        // equal-and-opposite Add in the same (aborted) execution: net effect
+        // zero, so condition (a) holds even though the aborted execution
+        // issued updates.
+        let mut base = ObjectBase::new();
+        let c = base.add_object("c", Arc::new(Counter));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (m, e) = b.invoke(t, c, "m", []);
+        b.local_applied(e, Operation::unary("Add", 4)).unwrap();
+        b.local_applied(e, Operation::unary("Add", -4)).unwrap();
+        b.abort(e);
+        b.complete_invoke(m, Value::Unit);
+        let h = b.build();
+        assert!(check_abort_effects(&h).is_ok());
+    }
+
+    #[test]
+    fn descendants_of_aborted_parent_are_effectively_aborted() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (m, e) = b.invoke(t, x, "m", []);
+        let (m2, e2) = b.invoke(e, x, "inner", []);
+        b.abort(e2);
+        b.complete_invoke(m2, Value::Unit);
+        b.abort(e);
+        b.complete_invoke(m, Value::Unit);
+        let h = b.build();
+        assert!(check_abort_propagation(&h).is_ok());
+        assert!(h.effectively_aborted(e2));
+        assert!(h.effectively_aborted(e));
+        assert!(!h.effectively_aborted(t));
+        assert_eq!(effectively_aborted_execs(&h).len(), 2);
+    }
+}

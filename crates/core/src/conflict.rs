@@ -1,0 +1,365 @@
+//! State-based commutativity and conflict checking (Definition 3).
+//!
+//! A semantic type declares its conflict relation
+//! ([`SemanticType::ops_conflict`]/[`SemanticType::steps_conflict`]); this
+//! module provides the *ground truth* against which those declarations are
+//! validated. Step `t₁` commutes with `t₂` iff, for every state `s` on which
+//! the sequence `t₁, t₂` is legal, the sequence `t₂, t₁` is also legal on `s`
+//! and both sequences leave the object in the same final state.
+//!
+//! The ground truth quantifies over *all* states, which is not computable for
+//! infinite state spaces; we approximate it by quantifying over the type's
+//! [`sample_states`](SemanticType::sample_states) together with every state
+//! reachable from them by applying sample operations up to a bounded depth.
+//! A declared non-conflict that fails this check is certainly a bug; the
+//! property tests of `obase-adt` use [`validate_conflict_spec`] to catch such
+//! bugs.
+
+use crate::object::SemanticType;
+use crate::op::{LocalStep, Operation};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// The outcome of checking commutativity of a pair of steps on one state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommuteOutcome {
+    /// The sequence `t₁, t₂` is not legal on the state, so the state imposes
+    /// no constraint (vacuously commutes).
+    NotApplicable,
+    /// Both orders are legal and produce the same final state.
+    Commutes,
+    /// The reversed order `t₂, t₁` is not legal on the state.
+    ReversedNotLegal,
+    /// Both orders are legal but produce different final states.
+    DifferentFinalStates {
+        /// Final state after `t₁, t₂`.
+        forward: Value,
+        /// Final state after `t₂, t₁`.
+        reversed: Value,
+    },
+}
+
+impl CommuteOutcome {
+    /// Returns `true` if the outcome demonstrates a conflict.
+    pub fn is_conflict(&self) -> bool {
+        matches!(
+            self,
+            CommuteOutcome::ReversedNotLegal | CommuteOutcome::DifferentFinalStates { .. }
+        )
+    }
+}
+
+/// Checks whether the sequence of steps is legal on `state`: applying the
+/// operations in order reproduces the recorded return values.
+pub fn sequence_legal_on(ty: &dyn SemanticType, state: &Value, steps: &[LocalStep]) -> bool {
+    let mut cur = state.clone();
+    for step in steps {
+        match ty.apply(&cur, &step.op) {
+            Ok((next, ret)) => {
+                if ret != step.ret {
+                    return false;
+                }
+                cur = next;
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Applies a sequence of steps to a state, ignoring recorded return values.
+/// Returns `None` if some operation cannot be applied.
+pub fn apply_sequence(ty: &dyn SemanticType, state: &Value, steps: &[LocalStep]) -> Option<Value> {
+    let mut cur = state.clone();
+    for step in steps {
+        let (next, _) = ty.apply(&cur, &step.op).ok()?;
+        cur = next;
+    }
+    Some(cur)
+}
+
+/// Checks Definition 3 for one pair of steps on one state.
+pub fn steps_commute_on_state(
+    ty: &dyn SemanticType,
+    state: &Value,
+    t1: &LocalStep,
+    t2: &LocalStep,
+) -> CommuteOutcome {
+    let forward = [t1.clone(), t2.clone()];
+    if !sequence_legal_on(ty, state, &forward) {
+        return CommuteOutcome::NotApplicable;
+    }
+    let reversed = [t2.clone(), t1.clone()];
+    if !sequence_legal_on(ty, state, &reversed) {
+        return CommuteOutcome::ReversedNotLegal;
+    }
+    let f = apply_sequence(ty, state, &forward).expect("forward legal implies applicable");
+    let r = apply_sequence(ty, state, &reversed).expect("reversed legal implies applicable");
+    if f == r {
+        CommuteOutcome::Commutes
+    } else {
+        CommuteOutcome::DifferentFinalStates {
+            forward: f,
+            reversed: r,
+        }
+    }
+}
+
+/// Checks Definition 3 over a set of states: `t₁` commutes with `t₂` iff no
+/// state in `states` demonstrates a conflict.
+pub fn steps_commute_over(
+    ty: &dyn SemanticType,
+    states: &[Value],
+    t1: &LocalStep,
+    t2: &LocalStep,
+) -> bool {
+    states
+        .iter()
+        .all(|s| !steps_commute_on_state(ty, s, t1, t2).is_conflict())
+}
+
+/// Expands a set of seed states by applying every sample operation up to
+/// `depth` times, collecting all reachable states. This enlarges the set of
+/// states over which conflict specifications are validated.
+pub fn reachable_states(ty: &dyn SemanticType, depth: usize) -> Vec<Value> {
+    let mut states: BTreeSet<Value> = ty.sample_states().into_iter().collect();
+    states.insert(ty.initial_state());
+    let ops = ty.sample_operations();
+    let mut frontier: Vec<Value> = states.iter().cloned().collect();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for op in &ops {
+                if let Ok((s2, _)) = ty.apply(s, op) {
+                    if states.insert(s2.clone()) {
+                        next.push(s2);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    states.into_iter().collect()
+}
+
+/// The steps achievable by executing `op` on any of `states`.
+pub fn achievable_steps(ty: &dyn SemanticType, states: &[Value], op: &Operation) -> Vec<LocalStep> {
+    let mut out: BTreeSet<(Operation, Value)> = BTreeSet::new();
+    for s in states {
+        if let Ok((_, ret)) = ty.apply(s, op) {
+            out.insert((op.clone(), ret));
+        }
+    }
+    out.into_iter()
+        .map(|(op, ret)| LocalStep::new(op, ret))
+        .collect()
+}
+
+/// A violation found by [`validate_conflict_spec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecViolation {
+    /// The first step of the offending pair.
+    pub t1: LocalStep,
+    /// The second step of the offending pair.
+    pub t2: LocalStep,
+    /// The state demonstrating the violation.
+    pub state: Value,
+    /// What went wrong.
+    pub outcome: CommuteOutcome,
+    /// Whether the violation is at the step level (`steps_conflict` said the
+    /// pair does not conflict) or only at the operation level.
+    pub step_level: bool,
+}
+
+/// Validates the declared conflict relations of a semantic type against the
+/// state-based ground truth of Definition 3, over the type's sample
+/// operations and the states reachable from its sample states within
+/// `depth` steps.
+///
+/// Returns every *soundness* violation found: a pair of steps declared
+/// non-conflicting that fails to commute on some explored state. (The
+/// converse — declared conflicts that actually commute — is merely
+/// conservative and is not reported as a violation.)
+pub fn validate_conflict_spec(ty: &dyn SemanticType, depth: usize) -> Vec<SpecViolation> {
+    let states = reachable_states(ty, depth);
+    let ops = ty.sample_operations();
+    let mut violations = Vec::new();
+    for a in &ops {
+        for b in &ops {
+            let steps_a = achievable_steps(ty, &states, a);
+            let steps_b = achievable_steps(ty, &states, b);
+            for ta in &steps_a {
+                for tb in &steps_b {
+                    for s in &states {
+                        let outcome = steps_commute_on_state(ty, s, ta, tb);
+                        if !outcome.is_conflict() {
+                            continue;
+                        }
+                        if !ty.steps_conflict(ta, tb) {
+                            violations.push(SpecViolation {
+                                t1: ta.clone(),
+                                t2: tb.clone(),
+                                state: s.clone(),
+                                outcome: outcome.clone(),
+                                step_level: true,
+                            });
+                        }
+                        if !ty.ops_conflict(a, b) {
+                            violations.push(SpecViolation {
+                                t1: ta.clone(),
+                                t2: tb.clone(),
+                                state: s.clone(),
+                                outcome: outcome.clone(),
+                                step_level: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{Counter, IntRegister};
+
+    fn step(name: &str, args: &[i64], ret: impl Into<Value>) -> LocalStep {
+        LocalStep::new(
+            Operation::new(name, args.iter().map(|&v| Value::Int(v))),
+            ret,
+        )
+    }
+
+    #[test]
+    fn register_writes_conflict() {
+        let ty = IntRegister;
+        let w1 = step("Write", &[1], ());
+        let w2 = step("Write", &[2], ());
+        let outcome = steps_commute_on_state(&ty, &Value::Int(0), &w1, &w2);
+        assert!(outcome.is_conflict());
+        match outcome {
+            CommuteOutcome::DifferentFinalStates { forward, reversed } => {
+                assert_eq!(forward, Value::Int(2));
+                assert_eq!(reversed, Value::Int(1));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_reads_commute() {
+        let ty = IntRegister;
+        let r = step("Read", &[], 0);
+        assert_eq!(
+            steps_commute_on_state(&ty, &Value::Int(0), &r, &r),
+            CommuteOutcome::Commutes
+        );
+    }
+
+    #[test]
+    fn read_write_reversal_illegal() {
+        let ty = IntRegister;
+        // Read returned 0, then Write(5): legal from state 0. Reversed, the
+        // read would return 5, so the recorded return value no longer holds.
+        let r = step("Read", &[], 0);
+        let w = step("Write", &[5], ());
+        assert_eq!(
+            steps_commute_on_state(&ty, &Value::Int(0), &r, &w),
+            CommuteOutcome::ReversedNotLegal
+        );
+    }
+
+    #[test]
+    fn inapplicable_pairs_vacuously_commute() {
+        let ty = IntRegister;
+        // A read that recorded return 7 is not legal on state 0.
+        let r = step("Read", &[], 7);
+        let w = step("Write", &[5], ());
+        assert_eq!(
+            steps_commute_on_state(&ty, &Value::Int(0), &r, &w),
+            CommuteOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn counter_adds_commute_reads_dont() {
+        let ty = Counter;
+        let a1 = step("Add", &[2], ());
+        let a2 = step("Add", &[3], ());
+        assert!(steps_commute_over(
+            &ty,
+            &reachable_states(&ty, 2),
+            &a1,
+            &a2
+        ));
+        let g = step("Get", &[], 0);
+        assert!(!steps_commute_over(
+            &ty,
+            &reachable_states(&ty, 2),
+            &a1,
+            &g
+        ));
+    }
+
+    #[test]
+    fn reachable_states_grow() {
+        let ty = Counter;
+        let states = reachable_states(&ty, 3);
+        assert!(states.len() > ty.sample_states().len());
+        assert!(states.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn achievable_steps_collect_return_values() {
+        let ty = IntRegister;
+        let states = vec![Value::Int(0), Value::Int(1)];
+        let steps = achievable_steps(&ty, &states, &Operation::nullary("Read"));
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn register_and_counter_specs_are_sound() {
+        assert!(validate_conflict_spec(&IntRegister, 2).is_empty());
+        assert!(validate_conflict_spec(&Counter, 2).is_empty());
+    }
+
+    #[test]
+    fn unsound_spec_is_caught() {
+        /// A deliberately broken type that claims writes commute.
+        #[derive(Debug)]
+        struct BrokenRegister;
+        impl SemanticType for BrokenRegister {
+            fn type_name(&self) -> &str {
+                "BrokenRegister"
+            }
+            fn initial_state(&self) -> Value {
+                Value::Int(0)
+            }
+            fn apply(
+                &self,
+                state: &Value,
+                op: &Operation,
+            ) -> Result<(Value, Value), crate::error::TypeError> {
+                IntRegister.apply(state, op)
+            }
+            fn ops_conflict(&self, _: &Operation, _: &Operation) -> bool {
+                false // wrong!
+            }
+            fn sample_states(&self) -> Vec<Value> {
+                IntRegister.sample_states()
+            }
+            fn sample_operations(&self) -> Vec<Operation> {
+                IntRegister.sample_operations()
+            }
+        }
+        let violations = validate_conflict_spec(&BrokenRegister, 1);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().any(|v| v.step_level));
+    }
+}

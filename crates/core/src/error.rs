@@ -1,0 +1,263 @@
+//! Error types for the core model.
+
+use crate::ids::{ExecId, ObjectId, StepId};
+use crate::op::Operation;
+use std::fmt;
+
+/// An error applying an operation to an object state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// The operation name is not part of the type's interface.
+    UnknownOperation {
+        /// The type that rejected the operation.
+        type_name: String,
+        /// The offending operation.
+        op: Operation,
+    },
+    /// The operation's arguments do not have the expected shape.
+    BadArguments {
+        /// The type that rejected the operation.
+        type_name: String,
+        /// The offending operation.
+        op: Operation,
+        /// Explanation of what was expected.
+        expected: String,
+    },
+    /// The state value does not have the shape this type maintains.
+    BadState {
+        /// The type that rejected the state.
+        type_name: String,
+        /// Explanation of what was expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownOperation { type_name, op } => {
+                write!(f, "type {type_name}: unknown operation {op:?}")
+            }
+            TypeError::BadArguments {
+                type_name,
+                op,
+                expected,
+            } => write!(
+                f,
+                "type {type_name}: bad arguments for {op:?} (expected {expected})"
+            ),
+            TypeError::BadState {
+                type_name,
+                expected,
+            } => write!(f, "type {type_name}: bad state (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A violation of the legality conditions of Definition 6 (or of the basic
+/// structural well-formedness a history must have before those conditions can
+/// even be evaluated).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LegalityError {
+    /// A step references an execution that does not exist, or vice versa.
+    DanglingReference {
+        /// Description of the broken link.
+        detail: String,
+    },
+    /// Condition 1: `B` must be one-to-one — two message steps map to the
+    /// same method execution.
+    MessageNotInjective {
+        /// The execution with two parents.
+        child: ExecId,
+        /// The two message steps claiming it.
+        steps: (StepId, StepId),
+    },
+    /// Condition 1: a method execution is a proper ancestor of itself.
+    CyclicAncestry {
+        /// An execution on the cycle.
+        exec: ExecId,
+    },
+    /// Condition 1: a top-level method execution does not belong to the
+    /// environment object.
+    TopLevelNotEnvironment {
+        /// The offending execution.
+        exec: ExecId,
+    },
+    /// An execution other than a top-level one belongs to the environment.
+    NestedEnvironmentExecution {
+        /// The offending execution.
+        exec: ExecId,
+    },
+    /// The temporal order `<` is not a partial order (it has a cycle).
+    OrderCyclic {
+        /// A step on the cycle.
+        step: StepId,
+    },
+    /// Condition 2(a): the program order `⊲` of an execution is not
+    /// contained in `<`.
+    ProgramOrderNotRespected {
+        /// The execution whose program order is violated.
+        exec: ExecId,
+        /// The `⊲`-ordered pair not present in `<`.
+        pair: (StepId, StepId),
+    },
+    /// Condition 2(b): two conflicting local steps are unordered by `<`.
+    ConflictingStepsUnordered {
+        /// The object on which the conflict occurs.
+        object: ObjectId,
+        /// The unordered conflicting steps.
+        steps: (StepId, StepId),
+    },
+    /// Condition 2(c): `t < t'` but some descendants of `t`, `t'` are not
+    /// ordered accordingly.
+    DescendantsNotOrdered {
+        /// The ordered pair of steps.
+        pair: (StepId, StepId),
+        /// The descendant pair that is not ordered.
+        descendants: (StepId, StepId),
+    },
+    /// Condition 3: no topological sort of an object's local steps is legal
+    /// on its initial state (a recorded return value is wrong).
+    IllegalReturnValue {
+        /// The object whose replay failed.
+        object: ObjectId,
+        /// The step whose recorded return value does not match the replay.
+        step: StepId,
+        /// What the replay produced.
+        detail: String,
+    },
+    /// Condition 3: replaying an object's local steps failed because an
+    /// operation could not be applied at all.
+    ReplayFailed {
+        /// The object whose replay failed.
+        object: ObjectId,
+        /// The step at which replay failed.
+        step: StepId,
+        /// The underlying type error.
+        error: TypeError,
+    },
+    /// Abort semantics (a): an aborted execution affected the final state.
+    AbortedExecutionHasEffect {
+        /// The object whose state differs.
+        object: ObjectId,
+    },
+    /// Abort semantics (b): an aborted execution has a non-aborted child.
+    AbortNotPropagated {
+        /// The aborted parent.
+        parent: ExecId,
+        /// The child that did not abort.
+        child: ExecId,
+    },
+    /// A local step was recorded against the environment object, which has
+    /// no variables.
+    LocalStepOnEnvironment {
+        /// The offending step.
+        step: StepId,
+    },
+    /// A step or execution references an object that is not in the object
+    /// base.
+    UnknownObject {
+        /// The unknown object.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::DanglingReference { detail } => write!(f, "dangling reference: {detail}"),
+            LegalityError::MessageNotInjective { child, steps } => write!(
+                f,
+                "B is not one-to-one: execution {child} is the child of both {} and {}",
+                steps.0, steps.1
+            ),
+            LegalityError::CyclicAncestry { exec } => {
+                write!(f, "execution {exec} is a proper ancestor of itself")
+            }
+            LegalityError::TopLevelNotEnvironment { exec } => write!(
+                f,
+                "top-level execution {exec} does not belong to the environment object"
+            ),
+            LegalityError::NestedEnvironmentExecution { exec } => write!(
+                f,
+                "nested execution {exec} belongs to the environment object"
+            ),
+            LegalityError::OrderCyclic { step } => {
+                write!(f, "the temporal order has a cycle through {step}")
+            }
+            LegalityError::ProgramOrderNotRespected { exec, pair } => write!(
+                f,
+                "program order of {exec} not respected: {} ⊲ {} but not {} < {}",
+                pair.0, pair.1, pair.0, pair.1
+            ),
+            LegalityError::ConflictingStepsUnordered { object, steps } => write!(
+                f,
+                "conflicting steps {} and {} on {object} are unordered",
+                steps.0, steps.1
+            ),
+            LegalityError::DescendantsNotOrdered { pair, descendants } => write!(
+                f,
+                "{} < {} but descendants {} and {} are not ordered",
+                pair.0, pair.1, descendants.0, descendants.1
+            ),
+            LegalityError::IllegalReturnValue { object, step, detail } => write!(
+                f,
+                "return value of {step} on {object} is not legal: {detail}"
+            ),
+            LegalityError::ReplayFailed { object, step, error } => {
+                write!(f, "replay of {object} failed at {step}: {error}")
+            }
+            LegalityError::AbortedExecutionHasEffect { object } => write!(
+                f,
+                "aborted executions affected the final state of {object}"
+            ),
+            LegalityError::AbortNotPropagated { parent, child } => write!(
+                f,
+                "execution {parent} aborted but its child {child} did not"
+            ),
+            LegalityError::LocalStepOnEnvironment { step } => {
+                write!(f, "local step {step} recorded on the environment object")
+            }
+            LegalityError::UnknownObject { object } => {
+                write!(f, "object {object} is not part of the object base")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LegalityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = LegalityError::CyclicAncestry { exec: ExecId(3) };
+        assert!(e.to_string().contains("E3"));
+        let e = LegalityError::ConflictingStepsUnordered {
+            object: ObjectId(1),
+            steps: (StepId(0), StepId(2)),
+        };
+        assert!(e.to_string().contains("s0"));
+        assert!(e.to_string().contains("s2"));
+        let e = TypeError::UnknownOperation {
+            type_name: "Counter".into(),
+            op: Operation::nullary("Pop"),
+        };
+        assert!(e.to_string().contains("Counter"));
+        assert!(e.to_string().contains("Pop"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TypeError::BadState {
+            type_name: "Q".into(),
+            expected: "list".into(),
+        });
+        assert_err(&LegalityError::OrderCyclic { step: StepId(0) });
+    }
+}

@@ -1,0 +1,135 @@
+//! Method executions and their genealogical structure.
+//!
+//! A method execution (Definition 4) is a partially ordered set of steps
+//! `(T, ⊲)` where `⊲` is derived from the algorithmic structure of the
+//! method's implementation. The calling pattern `B` of a history induces a
+//! forest over executions; the genealogical vocabulary of the paper (child,
+//! descendent, ancestor, incomparable, least common ancestor) is implemented
+//! here on top of that forest.
+
+use crate::ids::{ExecId, ObjectId, StepId};
+use serde::{Deserialize, Serialize};
+
+/// One method execution (transaction) of a history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodExecution {
+    /// The execution's identity.
+    pub id: ExecId,
+    /// The object whose method this is. Top-level executions belong to
+    /// [`ObjectId::ENVIRONMENT`].
+    pub object: ObjectId,
+    /// The name of the method being executed.
+    pub method: String,
+    /// The parent execution, if any (`None` exactly for top-level
+    /// executions).
+    pub parent: Option<ExecId>,
+    /// The message step of the parent that invoked this execution (`B⁻¹`),
+    /// if any.
+    pub parent_step: Option<StepId>,
+    /// The steps of this execution, in issue order.
+    pub steps: Vec<StepId>,
+    /// The program order `⊲`: pairs `(t, t')` of this execution's steps with
+    /// `t ⊲ t'`. Only the generating edges need to be stored; the relation is
+    /// interpreted transitively.
+    pub program_order: Vec<(StepId, StepId)>,
+    /// Whether this execution terminated with an abort.
+    pub aborted: bool,
+}
+
+impl MethodExecution {
+    /// Returns `true` if this is a top-level (user) transaction, i.e. a
+    /// method execution of the environment with no parent.
+    pub fn is_top_level(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Returns `true` if the program order declares `a ⊲ b` directly or
+    /// transitively.
+    pub fn program_precedes(&self, a: StepId, b: StepId) -> bool {
+        if a == b {
+            return false;
+        }
+        // Simple DFS over the (small) set of program-order edges.
+        let mut stack = vec![a];
+        let mut seen = vec![false; self.steps.len().max(1)];
+        let index_of = |s: StepId| self.steps.iter().position(|&t| t == s);
+        while let Some(cur) = stack.pop() {
+            for &(x, y) in &self.program_order {
+                if x == cur {
+                    if y == b {
+                        return true;
+                    }
+                    if let Some(i) = index_of(y) {
+                        if !seen[i] {
+                            seen[i] = true;
+                            stack.push(y);
+                        }
+                    } else {
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns the steps of this execution that are `⊲`-maximal (no later
+    /// step in program order). Useful for builders appending sequential
+    /// steps.
+    pub fn program_maximal_steps(&self) -> Vec<StepId> {
+        self.steps
+            .iter()
+            .copied()
+            .filter(|&s| !self.program_order.iter().any(|&(a, _)| a == s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec_with_chain() -> MethodExecution {
+        MethodExecution {
+            id: ExecId(0),
+            object: ObjectId(0),
+            method: "m".into(),
+            parent: None,
+            parent_step: None,
+            steps: vec![StepId(0), StepId(1), StepId(2), StepId(3)],
+            program_order: vec![
+                (StepId(0), StepId(1)),
+                (StepId(1), StepId(2)),
+                // StepId(3) is parallel to the chain.
+            ],
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn program_precedes_is_transitive() {
+        let e = exec_with_chain();
+        assert!(e.program_precedes(StepId(0), StepId(1)));
+        assert!(e.program_precedes(StepId(0), StepId(2)));
+        assert!(!e.program_precedes(StepId(2), StepId(0)));
+        assert!(!e.program_precedes(StepId(0), StepId(3)));
+        assert!(!e.program_precedes(StepId(1), StepId(1)));
+    }
+
+    #[test]
+    fn maximal_steps() {
+        let e = exec_with_chain();
+        let max = e.program_maximal_steps();
+        assert!(max.contains(&StepId(2)));
+        assert!(max.contains(&StepId(3)));
+        assert!(!max.contains(&StepId(0)));
+    }
+
+    #[test]
+    fn top_level_detection() {
+        let mut e = exec_with_chain();
+        assert!(e.is_top_level());
+        e.parent = Some(ExecId(9));
+        assert!(!e.is_top_level());
+    }
+}

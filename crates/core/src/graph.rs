@@ -1,0 +1,295 @@
+//! A small directed-graph utility used by the serialisation-graph machinery.
+//!
+//! Nodes are any `Copy + Ord` key (in practice [`ExecId`](crate::ids::ExecId)).
+//! The graph supports exactly the operations the serialisability theorems
+//! need: edge insertion, acyclicity testing, cycle extraction, topological
+//! sorting and union.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph over copyable, ordered node keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiGraph<N: Copy + Ord> {
+    adj: BTreeMap<N, BTreeSet<N>>,
+}
+
+impl<N: Copy + Ord> Default for DiGraph<N> {
+    fn default() -> Self {
+        DiGraph {
+            adj: BTreeMap::new(),
+        }
+    }
+}
+
+impl<N: Copy + Ord> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            adj: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a node (no-op if present).
+    pub fn add_node(&mut self, n: N) {
+        self.adj.entry(n).or_default();
+    }
+
+    /// Adds an edge (and both endpoints).
+    pub fn add_edge(&mut self, from: N, to: N) {
+        self.adj.entry(from).or_default().insert(to);
+        self.adj.entry(to).or_default();
+    }
+
+    /// Returns `true` if the edge is present.
+    pub fn has_edge(&self, from: N, to: N) -> bool {
+        self.adj.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Returns `true` if the node is present.
+    pub fn has_node(&self, n: N) -> bool {
+        self.adj.contains_key(&n)
+    }
+
+    /// Iterates over all nodes in key order.
+    pub fn nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates over all edges in key order.
+    pub fn edges(&self) -> impl Iterator<Item = (N, N)> + '_ {
+        self.adj
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+    }
+
+    /// The successors of a node.
+    pub fn successors(&self, n: N) -> impl Iterator<Item = N> + '_ {
+        self.adj.get(&n).into_iter().flatten().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum()
+    }
+
+    /// The union of two graphs (nodes and edges).
+    pub fn union(&self, other: &DiGraph<N>) -> DiGraph<N> {
+        let mut out = self.clone();
+        for n in other.nodes() {
+            out.add_node(n);
+        }
+        for (a, b) in other.edges() {
+            out.add_edge(a, b);
+        }
+        out
+    }
+
+    /// The restriction of the graph to a subset of its nodes.
+    pub fn restrict_to(&self, keep: &BTreeSet<N>) -> DiGraph<N> {
+        let mut out = DiGraph::new();
+        for &n in keep {
+            if self.has_node(n) {
+                out.add_node(n);
+            }
+        }
+        for (a, b) in self.edges() {
+            if keep.contains(&a) && keep.contains(&b) {
+                out.add_edge(a, b);
+            }
+        }
+        out
+    }
+
+    /// Returns a topological order of the nodes, or `None` if the graph has a
+    /// cycle. The order is deterministic: among available nodes the smallest
+    /// key is emitted first (Kahn's algorithm with an ordered frontier).
+    pub fn topological_order(&self) -> Option<Vec<N>> {
+        let mut indegree: BTreeMap<N, usize> = self.adj.keys().map(|&n| (n, 0)).collect();
+        for (_, to) in self.edges() {
+            *indegree.get_mut(&to).expect("edge endpoint present") += 1;
+        }
+        let mut ready: BTreeSet<N> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut out = Vec::with_capacity(self.adj.len());
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(&n);
+            out.push(n);
+            for succ in self.successors(n) {
+                let d = indegree.get_mut(&succ).expect("successor present");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(succ);
+                }
+            }
+        }
+        if out.len() == self.adj.len() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the graph has no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Finds some directed cycle, returned as a list of nodes (the last node
+    /// has an edge back to the first), or `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<N>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: BTreeMap<N, Colour> = self.adj.keys().map(|&n| (n, Colour::White)).collect();
+        let mut stack: Vec<N> = Vec::new();
+
+        fn dfs<N: Copy + Ord>(
+            g: &DiGraph<N>,
+            n: N,
+            colour: &mut BTreeMap<N, Colour>,
+            stack: &mut Vec<N>,
+        ) -> Option<Vec<N>> {
+            colour.insert(n, Colour::Grey);
+            stack.push(n);
+            for succ in g.successors(n) {
+                match colour[&succ] {
+                    Colour::Grey => {
+                        let pos = stack.iter().position(|&x| x == succ).expect("on stack");
+                        return Some(stack[pos..].to_vec());
+                    }
+                    Colour::White => {
+                        if let Some(c) = dfs(g, succ, colour, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            }
+            stack.pop();
+            colour.insert(n, Colour::Black);
+            None
+        }
+
+        let nodes: Vec<N> = self.adj.keys().copied().collect();
+        for n in nodes {
+            if colour[&n] == Colour::White {
+                if let Some(c) = dfs(self, n, &mut colour, &mut stack) {
+                    return Some(c);
+                }
+                stack.clear();
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `to` is reachable from `from` by a non-empty path.
+    pub fn reaches(&self, from: N, to: N) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<N> = self.successors(from).collect();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                stack.extend(self.successors(n));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_order_of_dag() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        g.add_node(0);
+        let order = g.topological_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |n: i32| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        assert!(g.is_acyclic());
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = DiGraph::new();
+        g.add_edge('a', 'b');
+        g.add_edge('b', 'c');
+        g.add_edge('c', 'a');
+        g.add_edge('x', 'a');
+        assert!(!g.is_acyclic());
+        assert!(g.topological_order().is_none());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        // Each node on the cycle has an edge to the next.
+        for i in 0..cycle.len() {
+            assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 1);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn union_and_restrict() {
+        let mut g1 = DiGraph::new();
+        g1.add_edge(1, 2);
+        let mut g2 = DiGraph::new();
+        g2.add_edge(2, 3);
+        let u = g1.union(&g2);
+        assert!(u.has_edge(1, 2));
+        assert!(u.has_edge(2, 3));
+        assert_eq!(u.node_count(), 3);
+        assert_eq!(u.edge_count(), 2);
+        let keep: BTreeSet<i32> = [2, 3].into_iter().collect();
+        let r = u.restrict_to(&keep);
+        assert!(!r.has_node(1));
+        assert!(r.has_edge(2, 3));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_node(4);
+        assert!(g.reaches(1, 3));
+        assert!(!g.reaches(3, 1));
+        assert!(!g.reaches(1, 4));
+        // Reachability requires a non-empty path.
+        assert!(!g.reaches(4, 4));
+    }
+
+    #[test]
+    fn deterministic_topo_order() {
+        let mut g = DiGraph::new();
+        for n in 0..5 {
+            g.add_node(n);
+        }
+        assert_eq!(g.topological_order().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Identifier newtypes for the object-base model.
+//!
+//! The model of Hadzilacos & Hadzilacos is built from three kinds of
+//! entities: *objects*, *method executions* (transactions) and *steps*.
+//! Each gets a small copyable identifier so that histories can be stored as
+//! flat vectors indexed by id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an object in an [`ObjectBase`](crate::object::ObjectBase).
+///
+/// The distinguished *environment* object (Definition 1 of the paper), whose
+/// methods are the users' top-level transactions, is [`ObjectId::ENVIRONMENT`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The distinguished environment object. It has no variables; its method
+    /// executions are the top-level (user) transactions.
+    pub const ENVIRONMENT: ObjectId = ObjectId(u32::MAX);
+
+    /// Returns `true` if this is the environment object.
+    #[inline]
+    pub fn is_environment(self) -> bool {
+        self == Self::ENVIRONMENT
+    }
+
+    /// Raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_environment() {
+            write!(f, "Obj(env)")
+        } else {
+            write!(f, "Obj({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies a method execution (a transaction in the broad sense of the
+/// paper: user transactions and nested method executions are the same kind of
+/// entity).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExecId(pub u32);
+
+impl ExecId {
+    /// Raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Display for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies a step (local or message) within a history.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StepId(pub u32);
+
+impl StepId {
+    /// Raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_is_distinguished() {
+        assert!(ObjectId::ENVIRONMENT.is_environment());
+        assert!(!ObjectId(0).is_environment());
+        assert!(!ObjectId(42).is_environment());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", ObjectId(3)), "Obj(3)");
+        assert_eq!(format!("{:?}", ObjectId::ENVIRONMENT), "Obj(env)");
+        assert_eq!(format!("{:?}", ExecId(7)), "E7");
+        assert_eq!(format!("{:?}", StepId(11)), "s11");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ExecId(1) < ExecId(2));
+        assert!(StepId(0) < StepId(10));
+        assert!(ObjectId(5) < ObjectId::ENVIRONMENT);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ObjectId(9).index(), 9);
+        assert_eq!(ExecId(9).index(), 9);
+        assert_eq!(StepId(9).index(), 9);
+    }
+}

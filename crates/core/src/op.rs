@@ -1,0 +1,165 @@
+//! Operations and local steps.
+//!
+//! A *local operation* `a` of an object (Definition 2) is a pair of
+//! functions `(ρ_a, σ_a)`: `ρ_a` maps states to return values and `σ_a` maps
+//! states to states. In this library an operation is named and parameterised
+//! — e.g. `Deposit(5)` or `Enqueue("x")` — and its two functions are supplied
+//! by the object's [`SemanticType`](crate::object::SemanticType)
+//! implementation.
+//!
+//! A *local step* is a pair `(a, v)` of an operation and the value it
+//! returned (Definition 2). Conflict between steps (Definition 3) may depend
+//! on the return values, which is the source of the extra concurrency
+//! discussed in Section 5.1 of the paper (the queue Enqueue/Dequeue example).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, parameterised local operation (the `a` of a step `(a, v)`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Operation {
+    /// Operation name, e.g. `"Deposit"`, `"Enqueue"`, `"Read"`.
+    pub name: String,
+    /// Operation arguments.
+    pub args: Vec<Value>,
+}
+
+impl Operation {
+    /// Creates an operation with arguments.
+    pub fn new(name: impl Into<String>, args: impl IntoIterator<Item = Value>) -> Self {
+        Operation {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Creates an operation without arguments.
+    pub fn nullary(name: impl Into<String>) -> Self {
+        Operation {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Creates an operation with a single argument.
+    pub fn unary(name: impl Into<String>, arg: impl Into<Value>) -> Self {
+        Operation {
+            name: name.into(),
+            args: vec![arg.into()],
+        }
+    }
+
+    /// Returns the `i`-th argument, if present.
+    pub fn arg(&self, i: usize) -> Option<&Value> {
+        self.args.get(i)
+    }
+
+    /// Returns the `i`-th argument as an integer, if present and an integer.
+    pub fn arg_int(&self, i: usize) -> Option<i64> {
+        self.arg(i).and_then(Value::as_int)
+    }
+
+    /// The reserved name of the abort operation (Section 3, "Transaction
+    /// Failures"): a method execution may invoke `Abort` as its last
+    /// operation to signal abnormal termination.
+    pub const ABORT: &'static str = "__abort";
+
+    /// Creates the distinguished abort operation.
+    pub fn abort() -> Self {
+        Operation::nullary(Self::ABORT)
+    }
+
+    /// Returns `true` if this is the distinguished abort operation.
+    pub fn is_abort(&self) -> bool {
+        self.name == Self::ABORT
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A local step `(a, v)`: the execution of operation `a` that returned `v`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocalStep {
+    /// The operation that was executed.
+    pub op: Operation,
+    /// The value the operation returned on the state it was applied to.
+    pub ret: Value,
+}
+
+impl LocalStep {
+    /// Creates a local step from an operation and its return value.
+    pub fn new(op: Operation, ret: impl Into<Value>) -> Self {
+        LocalStep { op, ret: ret.into() }
+    }
+
+    /// Returns `true` if this step is an abort step.
+    pub fn is_abort(&self) -> bool {
+        self.op.is_abort()
+    }
+}
+
+impl fmt::Debug for LocalStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}->{:?}", self.op, self.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let op = Operation::unary("Deposit", 5);
+        assert_eq!(op.name, "Deposit");
+        assert_eq!(op.arg_int(0), Some(5));
+        assert_eq!(op.arg(1), None);
+
+        let op2 = Operation::new("Put", [Value::from("k"), Value::from(1)]);
+        assert_eq!(op2.args.len(), 2);
+
+        let op3 = Operation::nullary("Read");
+        assert!(op3.args.is_empty());
+    }
+
+    #[test]
+    fn abort_operation() {
+        assert!(Operation::abort().is_abort());
+        assert!(!Operation::nullary("Read").is_abort());
+        assert!(LocalStep::new(Operation::abort(), ()).is_abort());
+    }
+
+    #[test]
+    fn debug_format() {
+        let op = Operation::new("Put", [Value::from("k"), Value::from(1)]);
+        assert_eq!(format!("{op:?}"), "Put(\"k\", 1)");
+        let step = LocalStep::new(Operation::nullary("Read"), 7);
+        assert_eq!(format!("{step:?}"), "Read()->7");
+    }
+
+    #[test]
+    fn steps_compare_by_op_and_ret() {
+        let a = LocalStep::new(Operation::nullary("Dequeue"), Value::from("x"));
+        let b = LocalStep::new(Operation::nullary("Dequeue"), Value::from("y"));
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+    }
+}

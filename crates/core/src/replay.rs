@@ -1,0 +1,233 @@
+//! Replay of histories and the well-definedness theorem (Theorem 1).
+//!
+//! Condition 3 of Definition 6 requires, for every object, a topological sort
+//! of its local steps (consistent with `<`) that is legal on the object's
+//! initial state. Theorem 1 states that the choice of sort does not matter:
+//! every such sort is legal and yields the same final state. This module
+//! implements the replay machinery and an executable check of Theorem 1 used
+//! by property tests.
+
+use crate::error::LegalityError;
+use crate::history::History;
+use crate::ids::{ObjectId, StepId};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Replays the local steps of object `o` in the given order, verifying that
+/// each recorded return value matches what the operation actually returns.
+/// Returns the final state.
+pub fn replay_order(h: &History, o: ObjectId, order: &[StepId]) -> Result<Value, LegalityError> {
+    let ty = h.base().type_of(o);
+    let mut state = h.initial_state(o);
+    for &sid in order {
+        let step = h.step(sid);
+        let local = step
+            .as_local()
+            .expect("replay_order applied to a message step");
+        if local.is_abort() {
+            continue;
+        }
+        let (next, ret) = ty
+            .apply(&state, &local.op)
+            .map_err(|error| LegalityError::ReplayFailed {
+                object: o,
+                step: sid,
+                error,
+            })?;
+        if ret != local.ret {
+            return Err(LegalityError::IllegalReturnValue {
+                object: o,
+                step: sid,
+                detail: format!("recorded {:?} but replay produced {ret:?}", local.ret),
+            });
+        }
+        state = next;
+    }
+    Ok(state)
+}
+
+/// Applies the local steps of object `o` in the given order *without*
+/// verifying return values, returning the final state. Returns `None` if an
+/// operation cannot be applied at all.
+pub fn apply_order(h: &History, o: ObjectId, order: &[StepId]) -> Option<Value> {
+    let ty = h.base().type_of(o);
+    let mut state = h.initial_state(o);
+    for &sid in order {
+        let local = h.step(sid).as_local()?;
+        if local.is_abort() {
+            continue;
+        }
+        let (next, _) = ty.apply(&state, &local.op).ok()?;
+        state = next;
+    }
+    Some(state)
+}
+
+/// The final state of object `o` after the history, computed by replaying the
+/// canonical topological sort of its local steps (Condition 3 / Theorem 1).
+pub fn final_state(h: &History, o: ObjectId) -> Result<Value, LegalityError> {
+    let order = h.topo_local_steps(o);
+    replay_order(h, o, &order)
+}
+
+/// The final states of every object touched by the history.
+pub fn final_states(h: &History) -> Result<BTreeMap<ObjectId, Value>, LegalityError> {
+    let mut out = BTreeMap::new();
+    for o in h.objects_touched() {
+        out.insert(o, final_state(h, o)?);
+    }
+    Ok(out)
+}
+
+/// Enumerates up to `limit` linear extensions of `<` restricted to the local
+/// steps of object `o`. Used by the Theorem 1 checker and by tests.
+pub fn linear_extensions(h: &History, o: ObjectId, limit: usize) -> Vec<Vec<StepId>> {
+    let steps = h.local_steps_of_object(o);
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    let mut remaining: Vec<StepId> = steps.clone();
+    fn recurse(
+        h: &History,
+        prefix: &mut Vec<StepId>,
+        remaining: &mut Vec<StepId>,
+        out: &mut Vec<Vec<StepId>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if remaining.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let candidate = remaining[i];
+            // `candidate` may be scheduled next iff no remaining step must
+            // precede it.
+            let blocked = remaining
+                .iter()
+                .any(|&other| other != candidate && h.precedes(other, candidate));
+            if blocked {
+                continue;
+            }
+            let removed = remaining.remove(i);
+            prefix.push(removed);
+            recurse(h, prefix, remaining, out, limit);
+            prefix.pop();
+            remaining.insert(i, removed);
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+    recurse(h, &mut prefix, &mut remaining, &mut out, limit);
+    out
+}
+
+/// An executable statement of Theorem 1 for one object: every linear
+/// extension of `<` over the object's local steps (up to `limit` of them) is
+/// legal on the initial state and produces the same final state.
+pub fn theorem1_holds(h: &History, o: ObjectId, limit: usize) -> bool {
+    let extensions = linear_extensions(h, o, limit);
+    let mut expected: Option<Value> = None;
+    for ext in &extensions {
+        match replay_order(h, o, ext) {
+            Ok(state) => match &expected {
+                None => expected = Some(state),
+                Some(prev) => {
+                    if *prev != state {
+                        return false;
+                    }
+                }
+            },
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::history::Interval;
+    use crate::object::ObjectBase;
+    use crate::op::Operation;
+    use crate::testutil::{Counter, IntRegister};
+    use std::sync::Arc;
+
+    #[test]
+    fn final_state_of_sequential_writes() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (_, e) = b.invoke(t, x, "m", []);
+        b.local_applied(e, Operation::unary("Write", 1)).unwrap();
+        b.local_applied(e, Operation::unary("Write", 2)).unwrap();
+        let h = b.build();
+        assert_eq!(final_state(&h, x).unwrap(), Value::Int(2));
+        assert_eq!(final_states(&h).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn theorem1_on_commuting_unordered_steps() {
+        let mut base = ObjectBase::new();
+        let c = base.add_object("c", Arc::new(Counter));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t1 = b.begin_top_level("T1");
+        let (_, e1) = b.invoke(t1, c, "m", []);
+        let t2 = b.begin_top_level("T2");
+        let (_, e2) = b.invoke(t2, c, "m", []);
+        b.local_with_interval(e1, Operation::unary("Add", 2), (), Interval::new(10, 20));
+        b.local_with_interval(e2, Operation::unary("Add", 3), (), Interval::new(15, 25));
+        let h = b.build();
+        // Two unordered, commuting adds: both linear extensions exist and
+        // agree on the final state 5.
+        let exts = linear_extensions(&h, c, 10);
+        assert_eq!(exts.len(), 2);
+        assert!(theorem1_holds(&h, c, 10));
+        assert_eq!(final_state(&h, c).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn ordered_steps_have_single_extension() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (_, e) = b.invoke(t, x, "m", []);
+        b.local_applied(e, Operation::unary("Write", 1)).unwrap();
+        b.local_applied(e, Operation::nullary("Read")).unwrap();
+        let h = b.build();
+        assert_eq!(linear_extensions(&h, x, 10).len(), 1);
+        assert!(theorem1_holds(&h, x, 10));
+    }
+
+    #[test]
+    fn wrong_return_value_fails_replay() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (_, e) = b.invoke(t, x, "m", []);
+        b.local(e, Operation::nullary("Read"), Value::Int(99));
+        let h = b.build();
+        assert!(final_state(&h, x).is_err());
+        assert!(!theorem1_holds(&h, x, 10));
+    }
+
+    #[test]
+    fn abort_steps_are_skipped_in_replay() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut b = HistoryBuilder::new(Arc::new(base));
+        let t = b.begin_top_level("T");
+        let (_, e) = b.invoke(t, x, "m", []);
+        b.local_applied(e, Operation::unary("Write", 1)).unwrap();
+        b.abort(e);
+        let h = b.build();
+        // The abort step itself has no effect on the state.
+        assert_eq!(final_state(&h, x).unwrap(), Value::Int(1));
+    }
+}

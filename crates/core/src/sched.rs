@@ -1,0 +1,306 @@
+//! The scheduler interface: the contract between the execution engine and a
+//! concurrency-control algorithm.
+//!
+//! The paper's algorithms (N2PL in Section 5.1, NTO in Section 5.2, and
+//! certifier-style inter-object schemes in Section 6) are all *online*: they
+//! observe operations as transactions issue them and decide whether each
+//! operation may proceed, must wait, or forces an abort. The
+//! [`Scheduler`] trait captures that interaction. Implementations live in the
+//! `obase-lock`, `obase-tso` and `obase-occ` crates; the engine in
+//! `obase-exec` drives them and records the resulting history, which the core
+//! theory (Theorems 2 and 5) then verifies.
+
+use crate::ids::{ExecId, ObjectId};
+use crate::object::TypeHandle;
+use crate::op::{LocalStep, Operation};
+
+/// Why a scheduler aborted a method execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The execution was chosen as a deadlock victim.
+    Deadlock,
+    /// A timestamp-ordering rule was violated (NTO rule 1).
+    TimestampOrder,
+    /// Commit-time certification failed (optimistic schemes).
+    Certification,
+    /// The workload itself requested an abort (e.g. insufficient funds).
+    Application,
+    /// Any other scheduler-specific reason.
+    Other(String),
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Deadlock => write!(f, "deadlock"),
+            AbortReason::TimestampOrder => write!(f, "timestamp order violation"),
+            AbortReason::Certification => write!(f, "certification failure"),
+            AbortReason::Application => write!(f, "application abort"),
+            AbortReason::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A scheduler's decision about a requested action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The action may proceed.
+    Grant,
+    /// The action must wait; the requester is blocked behind the listed
+    /// executions (used by the engine to build the waits-for graph for
+    /// deadlock detection).
+    Block {
+        /// The executions currently preventing the action.
+        waiting_for: Vec<ExecId>,
+    },
+    /// The requesting execution must abort.
+    Abort(AbortReason),
+}
+
+impl Decision {
+    /// Convenience constructor for a block decision.
+    pub fn block(waiting_for: impl IntoIterator<Item = ExecId>) -> Self {
+        Decision::Block {
+            waiting_for: waiting_for.into_iter().collect(),
+        }
+    }
+
+    /// Returns `true` if the decision is [`Decision::Grant`].
+    pub fn is_grant(&self) -> bool {
+        matches!(self, Decision::Grant)
+    }
+
+    /// Returns `true` if the decision is a block.
+    pub fn is_block(&self) -> bool {
+        matches!(self, Decision::Block { .. })
+    }
+
+    /// Returns `true` if the decision is an abort.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Decision::Abort(_))
+    }
+}
+
+/// The engine-provided view of the transaction forest that schedulers may
+/// consult when making decisions.
+pub trait TxnView {
+    /// The parent of a method execution, if any.
+    fn parent(&self, e: ExecId) -> Option<ExecId>;
+
+    /// The object whose method `e` executes ([`ObjectId::ENVIRONMENT`] for
+    /// top-level transactions).
+    fn object_of(&self, e: ExecId) -> ObjectId;
+
+    /// Returns `true` if `anc` is an ancestor of `e` (including `anc == e`).
+    fn is_ancestor(&self, anc: ExecId, e: ExecId) -> bool {
+        let mut cur = e;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// The ancestors of `e`, starting with `e` itself.
+    fn ancestors(&self, e: ExecId) -> Vec<ExecId> {
+        let mut out = vec![e];
+        let mut cur = e;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The top-level ancestor of `e`.
+    fn top_level_of(&self, e: ExecId) -> ExecId {
+        *self.ancestors(e).last().expect("ancestors never empty")
+    }
+
+    /// The semantic type of an object.
+    fn type_of(&self, o: ObjectId) -> TypeHandle;
+
+    /// Returns `true` if the execution is still live (neither committed nor
+    /// aborted).
+    fn is_live(&self, e: ExecId) -> bool;
+}
+
+/// A concurrency-control algorithm, driven by the execution engine.
+///
+/// All methods take `&mut self`; a scheduler instance serves one engine run.
+/// The default implementations make every hook a no-op that grants
+/// everything, so simple schedulers only override what they need.
+pub trait Scheduler {
+    /// A short human-readable name ("N2PL(op)", "NTO(conservative)", ...)
+    /// used in experiment output.
+    fn name(&self) -> String;
+
+    /// A new method execution has begun.
+    fn on_begin(
+        &mut self,
+        _exec: ExecId,
+        _parent: Option<ExecId>,
+        _object: ObjectId,
+        _view: &dyn TxnView,
+    ) {
+    }
+
+    /// `exec` wants to send a message invoking a method of `target`.
+    /// Flat (object-granularity) schedulers synchronise here.
+    fn request_invoke(
+        &mut self,
+        _exec: ExecId,
+        _target: ObjectId,
+        _method: &str,
+        _view: &dyn TxnView,
+    ) -> Decision {
+        Decision::Grant
+    }
+
+    /// `exec` wants to issue local operation `op` on `object`. Operation-level
+    /// schedulers (conservative N2PL/NTO) synchronise here, before the
+    /// operation's return value is known.
+    fn request_local(
+        &mut self,
+        _exec: ExecId,
+        _object: ObjectId,
+        _op: &Operation,
+        _view: &dyn TxnView,
+    ) -> Decision {
+        Decision::Grant
+    }
+
+    /// The engine has *provisionally* executed the operation and observed the
+    /// resulting step (operation plus return value). Step-level schedulers
+    /// (the second implementation style of Section 5.1/5.2) validate here;
+    /// returning [`Decision::Block`] delays the installation of the step and
+    /// the engine will provisionally re-execute it later.
+    fn validate_step(
+        &mut self,
+        _exec: ExecId,
+        _object: ObjectId,
+        _step: &LocalStep,
+        _view: &dyn TxnView,
+    ) -> Decision {
+        Decision::Grant
+    }
+
+    /// A step was definitively installed.
+    fn on_step_installed(
+        &mut self,
+        _exec: ExecId,
+        _object: ObjectId,
+        _step: &LocalStep,
+        _view: &dyn TxnView,
+    ) {
+    }
+
+    /// The execution has finished its program and asks to commit. Certifier
+    /// schedulers validate here; returning an abort decision turns the commit
+    /// into an abort.
+    fn certify_commit(&mut self, _exec: ExecId, _view: &dyn TxnView) -> Decision {
+        Decision::Grant
+    }
+
+    /// The execution committed (for nested executions this is where N2PL
+    /// passes locks to the parent).
+    fn on_commit(&mut self, _exec: ExecId, _view: &dyn TxnView) {}
+
+    /// The execution aborted (locks are released, timestamps forgotten, ...).
+    fn on_abort(&mut self, _exec: ExecId, _view: &dyn TxnView) {}
+}
+
+/// A scheduler that grants everything. It performs no synchronisation at all
+/// and therefore admits non-serialisable executions; it exists as the
+/// baseline "no concurrency control" configuration for experiments and as a
+/// negative control in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullScheduler;
+
+impl Scheduler for NullScheduler {
+    fn name(&self) -> String {
+        "none".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StubView;
+    impl TxnView for StubView {
+        fn parent(&self, e: ExecId) -> Option<ExecId> {
+            if e.0 == 0 {
+                None
+            } else {
+                Some(ExecId(e.0 - 1))
+            }
+        }
+        fn object_of(&self, _e: ExecId) -> ObjectId {
+            ObjectId(0)
+        }
+        fn type_of(&self, _o: ObjectId) -> TypeHandle {
+            std::sync::Arc::new(crate::testutil::IntRegister)
+        }
+        fn is_live(&self, _e: ExecId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn view_default_genealogy() {
+        let v = StubView;
+        assert!(v.is_ancestor(ExecId(0), ExecId(3)));
+        assert!(!v.is_ancestor(ExecId(3), ExecId(0)));
+        assert_eq!(v.ancestors(ExecId(2)), vec![ExecId(2), ExecId(1), ExecId(0)]);
+        assert_eq!(v.top_level_of(ExecId(2)), ExecId(0));
+    }
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::Grant.is_grant());
+        assert!(Decision::block([ExecId(1)]).is_block());
+        assert!(Decision::Abort(AbortReason::Deadlock).is_abort());
+        assert_eq!(
+            Decision::block([ExecId(1), ExecId(2)]),
+            Decision::Block {
+                waiting_for: vec![ExecId(1), ExecId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn null_scheduler_grants_everything() {
+        let mut s = NullScheduler;
+        let v = StubView;
+        assert_eq!(s.name(), "none");
+        assert!(s
+            .request_local(ExecId(0), ObjectId(0), &Operation::nullary("Read"), &v)
+            .is_grant());
+        assert!(s
+            .request_invoke(ExecId(0), ObjectId(0), "m", &v)
+            .is_grant());
+        assert!(s
+            .validate_step(
+                ExecId(0),
+                ObjectId(0),
+                &LocalStep::new(Operation::nullary("Read"), 0),
+                &v
+            )
+            .is_grant());
+        assert!(s.certify_commit(ExecId(0), &v).is_grant());
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        assert_eq!(AbortReason::Deadlock.to_string(), "deadlock");
+        assert_eq!(
+            AbortReason::Other("custom".into()).to_string(),
+            "custom"
+        );
+    }
+}

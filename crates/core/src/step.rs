@@ -1,0 +1,179 @@
+//! Steps of a history: local steps and message steps.
+//!
+//! Definition 2 distinguishes *local steps* — the execution of a local
+//! operation together with its return value — from *message steps* — the
+//! invocation of another object's method together with the value that the
+//! invoked method eventually returned. The function `B` of a history maps
+//! each message step to the method execution it created; here that mapping is
+//! stored inline as the `child` field of the message step.
+
+use crate::ids::{ExecId, ObjectId, StepId};
+use crate::op::{LocalStep, Operation};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload of a step.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// A local step `(a, v)` on the variables of the issuing execution's
+    /// object.
+    Local(LocalStep),
+    /// A message step `(m, v)`: the invocation of `method` on `target`,
+    /// which resulted in method execution `child` and returned `ret`.
+    Message {
+        /// The object whose method is invoked.
+        target: ObjectId,
+        /// The name of the invoked method.
+        method: String,
+        /// The arguments passed with the message.
+        args: Vec<Value>,
+        /// The method execution the message resulted in (`B(t)`).
+        child: ExecId,
+        /// The value returned to the sender when the child completed.
+        ret: Value,
+    },
+}
+
+/// One step of a history, tagged with its identity and the method execution
+/// that issued it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// The step's identity within the history.
+    pub id: StepId,
+    /// The method execution this step belongs to.
+    pub exec: ExecId,
+    /// The step payload.
+    pub kind: StepKind,
+}
+
+impl StepRecord {
+    /// Returns `true` if this is a local step.
+    pub fn is_local(&self) -> bool {
+        matches!(self.kind, StepKind::Local(_))
+    }
+
+    /// Returns `true` if this is a message step.
+    pub fn is_message(&self) -> bool {
+        matches!(self.kind, StepKind::Message { .. })
+    }
+
+    /// Returns the local step payload, if this is a local step.
+    pub fn as_local(&self) -> Option<&LocalStep> {
+        match &self.kind {
+            StepKind::Local(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the operation of a local step, if this is a local step.
+    pub fn local_op(&self) -> Option<&Operation> {
+        self.as_local().map(|l| &l.op)
+    }
+
+    /// Returns the child execution (`B(t)`), if this is a message step.
+    pub fn message_child(&self) -> Option<ExecId> {
+        match &self.kind {
+            StepKind::Message { child, .. } => Some(*child),
+            _ => None,
+        }
+    }
+
+    /// Returns the target object, if this is a message step.
+    pub fn message_target(&self) -> Option<ObjectId> {
+        match &self.kind {
+            StepKind::Message { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a local abort step.
+    pub fn is_abort(&self) -> bool {
+        self.as_local().is_some_and(LocalStep::is_abort)
+    }
+
+    /// The return value recorded for this step (`ru(t)` in the paper).
+    pub fn return_value(&self) -> &Value {
+        match &self.kind {
+            StepKind::Local(l) => &l.ret,
+            StepKind::Message { ret, .. } => ret,
+        }
+    }
+}
+
+impl fmt::Display for StepRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            StepKind::Local(l) => write!(f, "{}[{}] {:?}", self.id, self.exec, l),
+            StepKind::Message {
+                target,
+                method,
+                args,
+                child,
+                ret,
+            } => write!(
+                f,
+                "{}[{}] send {method}{args:?} to {target} -> {child} = {ret:?}",
+                self.id, self.exec
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(id: u32, exec: u32, name: &str, ret: i64) -> StepRecord {
+        StepRecord {
+            id: StepId(id),
+            exec: ExecId(exec),
+            kind: StepKind::Local(LocalStep::new(Operation::nullary(name), ret)),
+        }
+    }
+
+    #[test]
+    fn local_accessors() {
+        let s = local(0, 1, "Read", 5);
+        assert!(s.is_local());
+        assert!(!s.is_message());
+        assert!(!s.is_abort());
+        assert_eq!(s.local_op().unwrap().name, "Read");
+        assert_eq!(s.return_value(), &Value::Int(5));
+        assert_eq!(s.message_child(), None);
+        assert_eq!(s.message_target(), None);
+    }
+
+    #[test]
+    fn message_accessors() {
+        let s = StepRecord {
+            id: StepId(3),
+            exec: ExecId(0),
+            kind: StepKind::Message {
+                target: ObjectId(2),
+                method: "Transfer".into(),
+                args: vec![Value::Int(10)],
+                child: ExecId(4),
+                ret: Value::Bool(true),
+            },
+        };
+        assert!(s.is_message());
+        assert_eq!(s.message_child(), Some(ExecId(4)));
+        assert_eq!(s.message_target(), Some(ObjectId(2)));
+        assert_eq!(s.return_value(), &Value::Bool(true));
+        assert!(s.as_local().is_none());
+        let text = s.to_string();
+        assert!(text.contains("Transfer"));
+        assert!(text.contains("E4"));
+    }
+
+    #[test]
+    fn abort_step_detected() {
+        let s = StepRecord {
+            id: StepId(0),
+            exec: ExecId(0),
+            kind: StepKind::Local(LocalStep::new(Operation::abort(), ())),
+        };
+        assert!(s.is_abort());
+    }
+}

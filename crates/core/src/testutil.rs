@@ -1,0 +1,200 @@
+//! Small semantic types used by the core crate's own tests and by downstream
+//! crates' tests.
+//!
+//! These are deliberately minimal; the full library of semantic object types
+//! lives in the `obase-adt` crate. They are exported (not `#[cfg(test)]`)
+//! because integration tests and sibling crates reuse them.
+
+use crate::error::TypeError;
+use crate::object::SemanticType;
+use crate::op::{LocalStep, Operation};
+use crate::value::Value;
+
+/// An integer read/write register: operations `Read()` and `Write(v)`.
+///
+/// Conflict relation: `Read` commutes with `Read`; everything else conflicts.
+/// This reproduces the classical read/write model inside the object-base
+/// model and is the work-horse of the core crate's unit tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntRegister;
+
+impl SemanticType for IntRegister {
+    fn type_name(&self) -> &str {
+        "IntRegister"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, state: &Value, op: &Operation) -> Result<(Value, Value), TypeError> {
+        let cur = state.as_int().ok_or_else(|| TypeError::BadState {
+            type_name: self.type_name().into(),
+            expected: "Int".into(),
+        })?;
+        match op.name.as_str() {
+            "Read" => Ok((Value::Int(cur), Value::Int(cur))),
+            "Write" => {
+                let v = op.arg_int(0).ok_or_else(|| TypeError::BadArguments {
+                    type_name: self.type_name().into(),
+                    op: op.clone(),
+                    expected: "Write(Int)".into(),
+                })?;
+                Ok((Value::Int(v), Value::Unit))
+            }
+            _ if op.is_abort() => Ok((Value::Int(cur), Value::Unit)),
+            _ => Err(TypeError::UnknownOperation {
+                type_name: self.type_name().into(),
+                op: op.clone(),
+            }),
+        }
+    }
+
+    fn ops_conflict(&self, a: &Operation, b: &Operation) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        !(a.name == "Read" && b.name == "Read")
+    }
+
+    fn op_is_readonly(&self, op: &Operation) -> bool {
+        op.name == "Read" || op.is_abort()
+    }
+
+    fn sample_states(&self) -> Vec<Value> {
+        vec![Value::Int(0), Value::Int(1), Value::Int(-3), Value::Int(42)]
+    }
+
+    fn sample_operations(&self) -> Vec<Operation> {
+        vec![
+            Operation::nullary("Read"),
+            Operation::unary("Write", 1),
+            Operation::unary("Write", 2),
+        ]
+    }
+}
+
+/// An integer counter with commuting increments: operations `Get()`,
+/// `Add(n)`.
+///
+/// `Add` commutes with `Add` (addition is commutative) but conflicts with
+/// `Get`; `Get` commutes with `Get`. This is the simplest example of the
+/// semantic (commutativity-based) conflict relation of Definition 3 being
+/// strictly more permissive than read/write conflicts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl SemanticType for Counter {
+    fn type_name(&self) -> &str {
+        "Counter"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, state: &Value, op: &Operation) -> Result<(Value, Value), TypeError> {
+        let cur = state.as_int().ok_or_else(|| TypeError::BadState {
+            type_name: self.type_name().into(),
+            expected: "Int".into(),
+        })?;
+        match op.name.as_str() {
+            "Get" => Ok((Value::Int(cur), Value::Int(cur))),
+            "Add" => {
+                let n = op.arg_int(0).ok_or_else(|| TypeError::BadArguments {
+                    type_name: self.type_name().into(),
+                    op: op.clone(),
+                    expected: "Add(Int)".into(),
+                })?;
+                Ok((Value::Int(cur + n), Value::Unit))
+            }
+            _ if op.is_abort() => Ok((Value::Int(cur), Value::Unit)),
+            _ => Err(TypeError::UnknownOperation {
+                type_name: self.type_name().into(),
+                op: op.clone(),
+            }),
+        }
+    }
+
+    fn ops_conflict(&self, a: &Operation, b: &Operation) -> bool {
+        if a.is_abort() || b.is_abort() {
+            return false;
+        }
+        match (a.name.as_str(), b.name.as_str()) {
+            ("Get", "Get") => false,
+            ("Add", "Add") => false,
+            _ => true,
+        }
+    }
+
+    fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
+        self.ops_conflict(&a.op, &b.op)
+    }
+
+    fn op_is_readonly(&self, op: &Operation) -> bool {
+        op.name == "Get" || op.is_abort()
+    }
+
+    fn sample_states(&self) -> Vec<Value> {
+        vec![Value::Int(0), Value::Int(5), Value::Int(-2)]
+    }
+
+    fn sample_operations(&self) -> Vec<Operation> {
+        vec![
+            Operation::nullary("Get"),
+            Operation::unary("Add", 1),
+            Operation::unary("Add", -1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_semantics() {
+        let r = IntRegister;
+        let (s, v) = r.apply(&Value::Int(3), &Operation::nullary("Read")).unwrap();
+        assert_eq!(s, Value::Int(3));
+        assert_eq!(v, Value::Int(3));
+        let (s, v) = r.apply(&Value::Int(3), &Operation::unary("Write", 9)).unwrap();
+        assert_eq!(s, Value::Int(9));
+        assert_eq!(v, Value::Unit);
+        assert!(r
+            .apply(&Value::Int(0), &Operation::nullary("Pop"))
+            .is_err());
+        assert!(r.apply(&Value::Unit, &Operation::nullary("Read")).is_err());
+    }
+
+    #[test]
+    fn register_conflicts() {
+        let r = IntRegister;
+        let read = Operation::nullary("Read");
+        let write = Operation::unary("Write", 1);
+        assert!(!r.ops_conflict(&read, &read));
+        assert!(r.ops_conflict(&read, &write));
+        assert!(r.ops_conflict(&write, &read));
+        assert!(r.ops_conflict(&write, &write));
+    }
+
+    #[test]
+    fn counter_semantics() {
+        let c = Counter;
+        let (s, _) = c.apply(&Value::Int(1), &Operation::unary("Add", 4)).unwrap();
+        assert_eq!(s, Value::Int(5));
+        let (_, v) = c.apply(&Value::Int(5), &Operation::nullary("Get")).unwrap();
+        assert_eq!(v, Value::Int(5));
+    }
+
+    #[test]
+    fn counter_adds_commute() {
+        let c = Counter;
+        let add = Operation::unary("Add", 1);
+        let get = Operation::nullary("Get");
+        assert!(!c.ops_conflict(&add, &add));
+        assert!(c.ops_conflict(&add, &get));
+        assert!(c.ops_conflict(&get, &add));
+        assert!(!c.ops_conflict(&get, &get));
+    }
+}

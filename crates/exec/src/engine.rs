@@ -1,0 +1,809 @@
+//! The interleaving simulator: executes nested transaction programs against
+//! the object base under the control of a pluggable [`Scheduler`].
+//!
+//! The engine models a parallel machine with one logical processor per
+//! runnable activity: in every *round*, every runnable thread of control
+//! advances by one action (in a seeded random order, so interleavings are
+//! adversarial but reproducible). Blocking decisions cost rounds; the number
+//! of rounds until all transactions settle is the run's makespan, and
+//! committed-transactions-per-round is the throughput proxy the experiments
+//! report. Every run records a full [`History`] which can be checked against
+//! the core theory (Theorems 2 and 5) after the fact.
+//!
+//! ## Aborts and retries
+//!
+//! When a scheduler aborts a method execution the engine aborts the whole
+//! top-level transaction it belongs to and (up to a retry budget) re-submits
+//! it. Installed effects of the aborted subtree are undone by replaying the
+//! surviving per-object logs; if a surviving step's recorded return value no
+//! longer holds, the transaction that issued it performed a dirty read and is
+//! cascade-aborted. Strict schedulers (N2PL, the flat baseline) never cascade
+//! — integration tests assert this.
+
+use crate::metrics::RunMetrics;
+use crate::program::{Expr, ObjRef, Program, WorkloadSpec};
+use crate::store::ObjectStore;
+use obase_core::builder::HistoryBuilder;
+use obase_core::graph::DiGraph;
+use obase_core::history::History;
+use obase_core::ids::{ExecId, ObjectId, StepId};
+use obase_core::object::{ObjectBase, TypeHandle};
+use obase_core::op::{LocalStep, Operation};
+use obase_core::sched::{Decision, Scheduler, TxnView};
+use obase_core::value::Value;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Seed for the interleaving RNG (runs are reproducible given a seed).
+    pub seed: u64,
+    /// How many times an aborted top-level transaction is re-submitted.
+    pub max_retries: u32,
+    /// Hard bound on scheduling rounds (guards against livelock).
+    pub max_rounds: u64,
+    /// Maximum number of concurrently running top-level transactions.
+    pub clients: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 42,
+            max_retries: 16,
+            max_rounds: 200_000,
+            clients: 4,
+        }
+    }
+}
+
+/// The outcome of an engine run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The committed projection of the recorded history: a legal history
+    /// containing exactly the executions that committed. This is what the
+    /// serialisability analyses consume.
+    pub history: History,
+    /// The raw recorded history including aborted attempts. Aborted effects
+    /// were physically undone during the run, so this history is *not*
+    /// guaranteed to satisfy legality condition 3; it exists for diagnostics.
+    pub raw_history: History,
+    /// Counters collected during the run.
+    pub metrics: RunMetrics,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    WaitingChild(ExecId),
+    WaitingPar(usize),
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    items: Vec<Program>,
+    index: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    exec: ExecId,
+    frames: Vec<Frame>,
+    state: ThreadState,
+    parent_thread: Option<usize>,
+    blocked_on: Vec<ExecId>,
+    last_value: Value,
+    prev_step: Option<StepId>,
+}
+
+#[derive(Clone, Debug)]
+struct ExecMeta {
+    parent: Option<ExecId>,
+    object: ObjectId,
+    args: Vec<Value>,
+    live: bool,
+    aborted: bool,
+    msg_step: Option<StepId>,
+    resume_thread: Option<usize>,
+    spec: Option<(usize, u32)>,
+    children: Vec<ExecId>,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    spec: usize,
+    attempt: u32,
+}
+
+struct EngineView<'a> {
+    meta: &'a [ExecMeta],
+    base: &'a Arc<ObjectBase>,
+}
+
+impl TxnView for EngineView<'_> {
+    fn parent(&self, e: ExecId) -> Option<ExecId> {
+        self.meta[e.index()].parent
+    }
+    fn object_of(&self, e: ExecId) -> ObjectId {
+        self.meta[e.index()].object
+    }
+    fn type_of(&self, o: ObjectId) -> TypeHandle {
+        self.base.type_of(o)
+    }
+    fn is_live(&self, e: ExecId) -> bool {
+        self.meta[e.index()].live
+    }
+}
+
+struct EngineState {
+    def: crate::program::ObjectBaseDef,
+    specs: Vec<crate::program::TxnSpec>,
+    config: EngineConfig,
+    builder: HistoryBuilder,
+    store: ObjectStore,
+    exec_meta: Vec<ExecMeta>,
+    threads: Vec<Thread>,
+    queue: VecDeque<Pending>,
+    running_clients: usize,
+    metrics: RunMetrics,
+    rng: ChaCha8Rng,
+}
+
+impl EngineState {
+    fn new(workload: &WorkloadSpec, config: &EngineConfig) -> Self {
+        let base = Arc::clone(workload.def.base());
+        let mut builder = HistoryBuilder::new(Arc::clone(&base));
+        builder.set_auto_program_order(false);
+        let mut queue = VecDeque::new();
+        for (i, _) in workload.transactions.iter().enumerate() {
+            queue.push_back(Pending { spec: i, attempt: 0 });
+        }
+        EngineState {
+            def: workload.def.clone(),
+            specs: workload.transactions.clone(),
+            config: config.clone(),
+            builder,
+            store: ObjectStore::new(base),
+            exec_meta: Vec::new(),
+            threads: Vec::new(),
+            queue,
+            running_clients: 0,
+            metrics: RunMetrics::default(),
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+        }
+    }
+
+    fn view(&self) -> EngineView<'_> {
+        EngineView {
+            meta: &self.exec_meta,
+            base: self.def.base(),
+        }
+    }
+
+    fn top_of(&self, mut e: ExecId) -> ExecId {
+        while let Some(p) = self.exec_meta[e.index()].parent {
+            e = p;
+        }
+        e
+    }
+
+    fn settled(&self) -> bool {
+        self.queue.is_empty() && self.running_clients == 0
+    }
+
+    fn start_pending(&mut self, scheduler: &mut dyn Scheduler) {
+        while self.running_clients < self.config.clients {
+            let Some(p) = self.queue.pop_front() else {
+                break;
+            };
+            let spec = &self.specs[p.spec];
+            let top = self.builder.begin_top_level(spec.name.clone());
+            debug_assert_eq!(top.index(), self.exec_meta.len());
+            self.exec_meta.push(ExecMeta {
+                parent: None,
+                object: ObjectId::ENVIRONMENT,
+                args: Vec::new(),
+                live: true,
+                aborted: false,
+                msg_step: None,
+                resume_thread: None,
+                spec: Some((p.spec, p.attempt)),
+                children: Vec::new(),
+            });
+            scheduler.on_begin(top, None, ObjectId::ENVIRONMENT, &self.view());
+            let body = spec.body.clone();
+            self.threads.push(Thread {
+                exec: top,
+                frames: vec![Frame {
+                    items: vec![body],
+                    index: 0,
+                }],
+                state: ThreadState::Ready,
+                parent_thread: None,
+                blocked_on: Vec::new(),
+                last_value: Value::Unit,
+                prev_step: None,
+            });
+            self.running_clients += 1;
+        }
+    }
+
+    fn step_thread(&mut self, scheduler: &mut dyn Scheduler, tid: usize) {
+        loop {
+            if self.threads[tid].state != ThreadState::Ready {
+                return;
+            }
+            // Locate the current instruction, popping exhausted frames.
+            let item = loop {
+                let th = &mut self.threads[tid];
+                match th.frames.last_mut() {
+                    None => break None,
+                    Some(f) if f.index >= f.items.len() => {
+                        th.frames.pop();
+                    }
+                    Some(f) => break Some(f.items[f.index].clone()),
+                }
+            };
+            let Some(item) = item else {
+                self.finish_thread(scheduler, tid);
+                return;
+            };
+            match item {
+                Program::Seq(items) => {
+                    self.advance(tid);
+                    self.threads[tid].frames.push(Frame { items, index: 0 });
+                    // Pure bookkeeping: keep going within the same round.
+                }
+                Program::Par(branches) => {
+                    self.advance(tid);
+                    if branches.is_empty() {
+                        continue;
+                    }
+                    let exec = self.threads[tid].exec;
+                    let n = branches.len();
+                    for branch in branches {
+                        self.threads.push(Thread {
+                            exec,
+                            frames: vec![Frame {
+                                items: vec![branch],
+                                index: 0,
+                            }],
+                            state: ThreadState::Ready,
+                            parent_thread: Some(tid),
+                            blocked_on: Vec::new(),
+                            last_value: Value::Unit,
+                            prev_step: self.threads[tid].prev_step,
+                        });
+                    }
+                    self.threads[tid].state = ThreadState::WaitingPar(n);
+                    return;
+                }
+                Program::Local { op, args } => {
+                    self.do_local(scheduler, tid, op, args);
+                    return;
+                }
+                Program::Invoke {
+                    object,
+                    method,
+                    args,
+                } => {
+                    self.do_invoke(scheduler, tid, object, method, args);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self, tid: usize) {
+        if let Some(f) = self.threads[tid].frames.last_mut() {
+            f.index += 1;
+        }
+    }
+
+    fn do_local(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        tid: usize,
+        op_name: String,
+        arg_exprs: Vec<Expr>,
+    ) {
+        let exec = self.threads[tid].exec;
+        let object = self.exec_meta[exec.index()].object;
+        assert!(
+            !object.is_environment(),
+            "top-level transactions cannot issue local operations (the environment has no variables)"
+        );
+        let args: Vec<Value> = {
+            let margs = &self.exec_meta[exec.index()].args;
+            arg_exprs.iter().map(|e| e.eval(margs)).collect()
+        };
+        let op = Operation::new(op_name, args);
+
+        match scheduler.request_local(exec, object, &op, &self.view()) {
+            Decision::Block { waiting_for } => {
+                self.threads[tid].blocked_on = waiting_for;
+                self.metrics.blocked_events += 1;
+                return;
+            }
+            Decision::Abort(reason) => {
+                let top = self.top_of(exec);
+                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                return;
+            }
+            Decision::Grant => {}
+        }
+
+        let (new_state, ret) = self
+            .store
+            .provisional(object, &op)
+            .unwrap_or_else(|e| panic!("malformed workload: {e}"));
+        let step = LocalStep::new(op.clone(), ret.clone());
+
+        match scheduler.validate_step(exec, object, &step, &self.view()) {
+            Decision::Block { waiting_for } => {
+                self.threads[tid].blocked_on = waiting_for;
+                self.metrics.blocked_events += 1;
+                return;
+            }
+            Decision::Abort(reason) => {
+                let top = self.top_of(exec);
+                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                return;
+            }
+            Decision::Grant => {}
+        }
+
+        self.store
+            .install(object, exec, op.clone(), ret.clone(), new_state);
+        let sid = self.builder.local(exec, op, ret.clone());
+        if let Some(prev) = self.threads[tid].prev_step {
+            self.builder.program_order_edge(exec, prev, sid);
+        }
+        scheduler.on_step_installed(exec, object, &step, &self.view());
+        let th = &mut self.threads[tid];
+        th.prev_step = Some(sid);
+        th.last_value = ret;
+        th.blocked_on.clear();
+        self.metrics.installed_steps += 1;
+        self.advance(tid);
+    }
+
+    fn do_invoke(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        tid: usize,
+        objref: ObjRef,
+        method: String,
+        arg_exprs: Vec<Expr>,
+    ) {
+        let exec = self.threads[tid].exec;
+        let (target, args) = {
+            let margs = &self.exec_meta[exec.index()].args;
+            let target = objref.resolve(margs);
+            let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(margs)).collect();
+            (target, args)
+        };
+
+        match scheduler.request_invoke(exec, target, &method, &self.view()) {
+            Decision::Block { waiting_for } => {
+                self.threads[tid].blocked_on = waiting_for;
+                self.metrics.blocked_events += 1;
+                return;
+            }
+            Decision::Abort(reason) => {
+                let top = self.top_of(exec);
+                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                return;
+            }
+            Decision::Grant => {}
+        }
+
+        let mdef = self
+            .def
+            .method(target, &method)
+            .unwrap_or_else(|| panic!("object {target:?} has no method {method:?}"));
+        let (msg, child) = self
+            .builder
+            .invoke(exec, target, method.clone(), args.clone());
+        debug_assert_eq!(child.index(), self.exec_meta.len());
+        if let Some(prev) = self.threads[tid].prev_step {
+            self.builder.program_order_edge(exec, prev, msg);
+        }
+        self.threads[tid].prev_step = Some(msg);
+        self.exec_meta.push(ExecMeta {
+            parent: Some(exec),
+            object: target,
+            args,
+            live: true,
+            aborted: false,
+            msg_step: Some(msg),
+            resume_thread: Some(tid),
+            spec: None,
+            children: Vec::new(),
+        });
+        self.exec_meta[exec.index()].children.push(child);
+        scheduler.on_begin(child, Some(exec), target, &self.view());
+        self.threads.push(Thread {
+            exec: child,
+            frames: vec![Frame {
+                items: vec![mdef.body.clone()],
+                index: 0,
+            }],
+            state: ThreadState::Ready,
+            parent_thread: None,
+            blocked_on: Vec::new(),
+            last_value: Value::Unit,
+            prev_step: None,
+        });
+        let th = &mut self.threads[tid];
+        th.state = ThreadState::WaitingChild(child);
+        th.blocked_on.clear();
+        self.advance(tid);
+    }
+
+    fn finish_thread(&mut self, scheduler: &mut dyn Scheduler, tid: usize) {
+        self.threads[tid].state = ThreadState::Done;
+        if let Some(pt) = self.threads[tid].parent_thread {
+            // A Par branch finished: wake the parent when all branches are in.
+            if let ThreadState::WaitingPar(n) = &mut self.threads[pt].state {
+                *n -= 1;
+                if *n == 0 {
+                    self.threads[pt].state = ThreadState::Ready;
+                }
+            }
+            return;
+        }
+        let exec = self.threads[tid].exec;
+        let retval = self.threads[tid].last_value.clone();
+        self.complete_exec(scheduler, exec, retval);
+    }
+
+    fn complete_exec(&mut self, scheduler: &mut dyn Scheduler, exec: ExecId, retval: Value) {
+        match scheduler.certify_commit(exec, &self.view()) {
+            Decision::Abort(reason) => {
+                let top = self.top_of(exec);
+                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                return;
+            }
+            Decision::Block { .. } | Decision::Grant => {}
+        }
+        scheduler.on_commit(exec, &self.view());
+        self.exec_meta[exec.index()].live = false;
+        match self.exec_meta[exec.index()].parent {
+            Some(_) => {
+                let msg = self.exec_meta[exec.index()]
+                    .msg_step
+                    .expect("nested execution has a message step");
+                self.builder.complete_invoke(msg, retval.clone());
+                let rt = self.exec_meta[exec.index()]
+                    .resume_thread
+                    .expect("nested execution has a waiting thread");
+                self.threads[rt].last_value = retval;
+                self.threads[rt].state = ThreadState::Ready;
+            }
+            None => {
+                self.metrics.committed += 1;
+                self.running_clients -= 1;
+            }
+        }
+    }
+
+    fn subtree_of(&self, root: ExecId) -> Vec<ExecId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            stack.extend(self.exec_meta[e.index()].children.iter().copied());
+        }
+        out
+    }
+
+    fn abort_top_level(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        top: ExecId,
+        reason: &str,
+        cascade: bool,
+    ) {
+        let mut worklist: Vec<(ExecId, String, bool)> = vec![(top, reason.to_owned(), cascade)];
+        let mut aborted_accum: BTreeSet<ExecId> = BTreeSet::new();
+        while let Some((t, r, casc)) = worklist.pop() {
+            if self.exec_meta[t.index()].aborted {
+                continue;
+            }
+            let was_running = self.exec_meta[t.index()].live;
+            let subtree = self.subtree_of(t);
+            let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
+            self.metrics.wasted_steps += self.store.installed_by(&subtree_set) as u64;
+            // Notify the scheduler deepest-first (children release before
+            // parents), then mark everything aborted.
+            for &e in subtree.iter().rev() {
+                scheduler.on_abort(e, &self.view());
+            }
+            for &e in &subtree {
+                self.exec_meta[e.index()].aborted = true;
+                self.exec_meta[e.index()].live = false;
+                self.builder.abort(e);
+            }
+            for th in &mut self.threads {
+                if subtree_set.contains(&th.exec) {
+                    th.state = ThreadState::Done;
+                    th.frames.clear();
+                    th.blocked_on.clear();
+                }
+            }
+            aborted_accum.extend(subtree_set.iter().copied());
+            self.metrics.record_abort(&r);
+            if casc {
+                self.metrics.cascading_aborts += 1;
+            }
+            if was_running {
+                self.running_clients -= 1;
+            } else {
+                // The victim had already committed (only possible with
+                // non-strict schedulers); uncount it.
+                self.metrics.committed = self.metrics.committed.saturating_sub(1);
+            }
+            if let Some((spec, attempt)) = self.exec_meta[t.index()].spec {
+                if attempt < self.config.max_retries {
+                    self.queue.push_back(Pending {
+                        spec,
+                        attempt: attempt + 1,
+                    });
+                    self.metrics.retries += 1;
+                } else {
+                    self.metrics.gave_up += 1;
+                }
+            }
+            // Undo effects and cascade to transactions that observed them.
+            let invalidated = self.store.undo(&aborted_accum);
+            for e in invalidated {
+                let it = self.top_of(e);
+                if !self.exec_meta[it.index()].aborted {
+                    worklist.push((it, "cascading dirty read".to_owned(), true));
+                }
+            }
+        }
+    }
+
+    fn detect_deadlock(&self) -> Option<ExecId> {
+        // Waits-for edges at the granularity of method executions: a blocked
+        // thread waits for the executions its scheduler reported as holding
+        // conflicting locks. Cycles among executions of the *same* top-level
+        // transaction (parallel sibling sub-transactions competing for the
+        // same lock) are deadlocks too, so no top-level collapsing here.
+        let mut g: DiGraph<ExecId> = DiGraph::new();
+        let mut any = false;
+        for th in &self.threads {
+            if th.state == ThreadState::Done {
+                continue;
+            }
+            // A parent waits for the children it invoked.
+            if let ThreadState::WaitingChild(child) = th.state {
+                g.add_edge(th.exec, child);
+            }
+            for &owner in &th.blocked_on {
+                if owner.index() >= self.exec_meta.len() || owner == th.exec {
+                    continue;
+                }
+                g.add_edge(th.exec, owner);
+                any = true;
+            }
+        }
+        if !any {
+            return None;
+        }
+        g.find_cycle().map(|cycle| {
+            let victim = cycle.into_iter().max().expect("cycles are non-empty");
+            self.top_of(victim)
+        })
+    }
+}
+
+/// Runs a workload under a scheduler and returns the recorded history and
+/// metrics.
+pub fn run(workload: &WorkloadSpec, scheduler: &mut dyn Scheduler, config: &EngineConfig) -> RunResult {
+    let mut st = EngineState::new(workload, config);
+    st.metrics.scheduler = scheduler.name();
+    st.metrics.submitted = workload.transactions.len();
+    while !st.settled() && st.metrics.rounds < config.max_rounds {
+        st.metrics.rounds += 1;
+        st.start_pending(scheduler);
+        let mut runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.state == ThreadState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        runnable.shuffle(&mut st.rng);
+        for tid in runnable {
+            if st.threads[tid].state == ThreadState::Ready {
+                st.step_thread(scheduler, tid);
+            }
+        }
+        if let Some(victim) = st.detect_deadlock() {
+            st.metrics.deadlocks += 1;
+            st.abort_top_level(scheduler, victim, "deadlock", false);
+        }
+    }
+    if !st.settled() {
+        st.metrics.timed_out = true;
+    }
+    let metrics = st.metrics;
+    let raw_history = st.builder.build();
+    let history = raw_history.committed_projection();
+    RunResult {
+        history,
+        raw_history,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{MethodDef, ObjectBaseDef, TxnSpec};
+    use obase_adt::{Counter, Register};
+    use obase_core::sched::NullScheduler;
+    use obase_lock::N2plScheduler;
+
+    /// Builds a tiny bank-like workload: `n` transactions each invoking
+    /// `bump` on one of two counters through a nested method.
+    fn counter_workload(n: usize) -> WorkloadSpec {
+        let mut base = ObjectBase::new();
+        let c0 = base.add_object("c0", Arc::new(Counter::default()));
+        let c1 = base.add_object("c1", Arc::new(Counter::default()));
+        let mut def = ObjectBaseDef::new(Arc::new(base));
+        for c in [c0, c1] {
+            def.define_method(
+                c,
+                MethodDef {
+                    name: "bump".into(),
+                    params: 1,
+                    body: Program::Local {
+                        op: "Add".into(),
+                        args: vec![Expr::Param(0)],
+                    },
+                },
+            );
+        }
+        let transactions = (0..n)
+            .map(|i| TxnSpec {
+                name: format!("T{i}"),
+                body: Program::Seq(vec![
+                    Program::invoke(if i % 2 == 0 { c0 } else { c1 }, "bump", [Value::Int(1)]),
+                    Program::invoke(if i % 2 == 0 { c1 } else { c0 }, "bump", [Value::Int(1)]),
+                ]),
+            })
+            .collect();
+        WorkloadSpec { def, transactions }
+    }
+
+    #[test]
+    fn commits_everything_and_records_a_legal_history() {
+        let wl = counter_workload(6);
+        let mut sched = N2plScheduler::operation_locks();
+        let result = run(&wl, &mut sched, &EngineConfig::default());
+        assert_eq!(result.metrics.committed, 6);
+        assert_eq!(result.metrics.gave_up, 0);
+        assert!(!result.metrics.timed_out);
+        assert!(obase_core::legality::is_legal(&result.history));
+        assert!(obase_core::sg::certifies_serialisable(&result.history));
+        // Each transaction adds 1 to each counter.
+        let final_states = obase_core::replay::final_states(&result.history).unwrap();
+        for (_, v) in final_states {
+            assert_eq!(v, Value::Int(6));
+        }
+    }
+
+    #[test]
+    fn null_scheduler_still_commits_commuting_work() {
+        // With only commuting counter increments even the null scheduler
+        // produces a serialisable history.
+        let wl = counter_workload(4);
+        let mut sched = NullScheduler;
+        let result = run(&wl, &mut sched, &EngineConfig::default());
+        assert_eq!(result.metrics.committed, 4);
+        assert!(obase_core::sg::certifies_serialisable(&result.history));
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let wl = counter_workload(5);
+        let cfg = EngineConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let a = run(&wl, &mut N2plScheduler::operation_locks(), &cfg);
+        let b = run(&wl, &mut N2plScheduler::operation_locks(), &cfg);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.blocked_events, b.metrics.blocked_events);
+        assert_eq!(a.history.step_count(), b.history.step_count());
+    }
+
+    /// Two transactions that write two registers in opposite orders: a
+    /// deadlock under operation-level N2PL, which the engine must detect and
+    /// resolve by aborting one of them (which then retries and commits).
+    #[test]
+    fn deadlock_is_detected_and_resolved() {
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(Register::default()));
+        let y = base.add_object("y", Arc::new(Register::default()));
+        let mut def = ObjectBaseDef::new(Arc::new(base));
+        for o in [x, y] {
+            def.define_method(
+                o,
+                MethodDef {
+                    name: "set".into(),
+                    params: 1,
+                    body: Program::Local {
+                        op: "Write".into(),
+                        args: vec![Expr::Param(0)],
+                    },
+                },
+            );
+        }
+        let transactions = vec![
+            TxnSpec {
+                name: "T0".into(),
+                body: Program::Seq(vec![
+                    Program::invoke(x, "set", [Value::Int(1)]),
+                    Program::invoke(y, "set", [Value::Int(1)]),
+                ]),
+            },
+            TxnSpec {
+                name: "T1".into(),
+                body: Program::Seq(vec![
+                    Program::invoke(y, "set", [Value::Int(2)]),
+                    Program::invoke(x, "set", [Value::Int(2)]),
+                ]),
+            },
+        ];
+        let wl = WorkloadSpec { def, transactions };
+        let mut sched = N2plScheduler::operation_locks();
+        let result = run(&wl, &mut sched, &EngineConfig::default());
+        assert_eq!(result.metrics.committed, 2);
+        assert!(result.metrics.deadlocks >= 1);
+        assert!(result.metrics.retries >= 1);
+        assert!(obase_core::legality::is_legal(&result.history));
+        assert!(obase_core::sg::certifies_serialisable(&result.history));
+        // Strict locking never cascades.
+        assert_eq!(result.metrics.cascading_aborts, 0);
+    }
+
+    #[test]
+    fn internal_parallelism_runs_par_branches() {
+        let mut base = ObjectBase::new();
+        let c0 = base.add_object("c0", Arc::new(Counter::default()));
+        let c1 = base.add_object("c1", Arc::new(Counter::default()));
+        let mut def = ObjectBaseDef::new(Arc::new(base));
+        for c in [c0, c1] {
+            def.define_method(
+                c,
+                MethodDef {
+                    name: "bump".into(),
+                    params: 0,
+                    body: Program::local("Add", [Value::Int(1)]),
+                },
+            );
+        }
+        let transactions = vec![TxnSpec {
+            name: "par".into(),
+            body: Program::Par(vec![
+                Program::invoke(c0, "bump", []),
+                Program::invoke(c1, "bump", []),
+            ]),
+        }];
+        let wl = WorkloadSpec { def, transactions };
+        let result = run(&wl, &mut N2plScheduler::operation_locks(), &EngineConfig::default());
+        assert_eq!(result.metrics.committed, 1);
+        assert_eq!(result.metrics.installed_steps, 2);
+        assert!(obase_core::legality::is_legal(&result.history));
+    }
+}

@@ -1,0 +1,29 @@
+//! # obase-exec — the object-base runtime
+//!
+//! This crate turns the analytical model of `obase-core` into an executable
+//! system: objects carry method definitions (nested programs with sequential
+//! and parallel composition), user transactions are submitted as programs of
+//! the environment, and a deterministic interleaving simulator executes them
+//! under the control of a pluggable concurrency-control
+//! [`Scheduler`](obase_core::sched::Scheduler) (N2PL and flat locking from
+//! `obase-lock`, NTO from `obase-tso`, the SGT certifier from `obase-occ`, or
+//! the [`mixed`] composition of per-object policies).
+//!
+//! Every run records a full history in the core model; the committed
+//! projection is returned as a legal [`History`](obase_core::history::History)
+//! so the serialisation-graph machinery can verify, after the fact, that the
+//! scheduler admitted only serialisable executions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod mixed;
+pub mod program;
+pub mod store;
+
+pub use engine::{run, EngineConfig, RunResult};
+pub use metrics::RunMetrics;
+pub use mixed::MixedScheduler;
+pub use program::{Expr, MethodDef, ObjRef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};

@@ -1,0 +1,105 @@
+//! Run metrics: what the experiments measure.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Counters collected during an engine run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunMetrics {
+    /// Name of the scheduler that produced the run.
+    pub scheduler: String,
+    /// Number of top-level transactions submitted (excluding retries).
+    pub submitted: usize,
+    /// Number of top-level transactions that committed.
+    pub committed: usize,
+    /// Number of top-level transaction aborts (each retry that later aborts
+    /// counts again).
+    pub aborts: usize,
+    /// Abort counts keyed by reason.
+    pub aborts_by_reason: BTreeMap<String, usize>,
+    /// Aborts caused by cascading invalidation (dirty reads observed when an
+    /// earlier abort was undone).
+    pub cascading_aborts: usize,
+    /// Deadlock victims.
+    pub deadlocks: usize,
+    /// Retries scheduled after aborts.
+    pub retries: usize,
+    /// Transactions abandoned after exhausting their retry budget.
+    pub gave_up: usize,
+    /// Number of times a scheduler decision blocked a thread for a round.
+    pub blocked_events: u64,
+    /// Local steps installed (including those later undone).
+    pub installed_steps: u64,
+    /// Local steps that were installed by executions that later aborted.
+    pub wasted_steps: u64,
+    /// Scheduling rounds until all transactions settled — the makespan of the
+    /// run on the simulated parallel machine.
+    pub rounds: u64,
+    /// `true` if the run hit the round limit before settling.
+    pub timed_out: bool,
+}
+
+impl RunMetrics {
+    /// Committed transactions per scheduling round: the throughput proxy used
+    /// by the experiments (higher = the scheduler admitted more parallelism).
+    pub fn throughput(&self) -> f64 {
+        self.committed as f64 / self.rounds.max(1) as f64
+    }
+
+    /// Aborts per committed transaction.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.committed == 0 {
+            self.aborts as f64
+        } else {
+            self.aborts as f64 / self.committed as f64
+        }
+    }
+
+    /// Blocked events per committed transaction.
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.committed == 0 {
+            self.blocked_events as f64
+        } else {
+            self.blocked_events as f64 / self.committed as f64
+        }
+    }
+
+    /// Records an abort with a reason label.
+    pub fn record_abort(&mut self, reason: &str) {
+        self.aborts += 1;
+        *self.aborts_by_reason.entry(reason.to_owned()).or_default() += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut m = RunMetrics {
+            committed: 10,
+            rounds: 50,
+            blocked_events: 20,
+            ..Default::default()
+        };
+        m.record_abort("deadlock");
+        m.record_abort("deadlock");
+        m.record_abort("timestamp order violation");
+        assert!((m.throughput() - 0.2).abs() < 1e-9);
+        assert!((m.abort_ratio() - 0.3).abs() < 1e-9);
+        assert!((m.blocking_ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(m.aborts_by_reason["deadlock"], 2);
+    }
+
+    #[test]
+    fn zero_committed_is_not_a_division_by_zero() {
+        let m = RunMetrics {
+            aborts: 3,
+            ..Default::default()
+        };
+        assert_eq!(m.abort_ratio(), 3.0);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.blocking_ratio(), 0.0);
+    }
+}

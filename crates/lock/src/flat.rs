@@ -1,0 +1,230 @@
+//! The flat, object-granularity baseline.
+//!
+//! The introduction of the paper describes the simple way of reducing object
+//! base concurrency control to database concurrency control: "we shall view
+//! each object as a data item... we shall require that only one method
+//! execution can be active at each object at any one time. With these
+//! restrictions, any conventional database concurrency control method can be
+//! employed" — the approach taken by Gemstone. This scheduler implements that
+//! baseline with strict two-phase locking at the granularity of whole objects
+//! and top-level transactions, in two flavours:
+//!
+//! * [`FlatMode::Exclusive`] — every method invocation takes an exclusive
+//!   lock on the target object (one active method execution per object);
+//! * [`FlatMode::ReadWrite`] — local operations take shared or exclusive
+//!   object locks depending on whether they are read-only, allowing reader
+//!   parallelism but nothing finer.
+//!
+//! Experiments E1–E3 measure how much concurrency this baseline gives up
+//! relative to the nested, semantics-aware schedulers.
+
+use crate::table::{LockKey, LockTable};
+use obase_core::ids::{ExecId, ObjectId};
+use obase_core::op::Operation;
+use obase_core::sched::{Decision, Scheduler, TxnView};
+
+/// Locking flavour of the flat baseline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlatMode {
+    /// One exclusive object lock per method invocation.
+    Exclusive,
+    /// Shared/exclusive object locks per local operation.
+    ReadWrite,
+}
+
+/// The flat (Gemstone-style) strict two-phase locking scheduler.
+#[derive(Debug)]
+pub struct FlatObjectScheduler {
+    table: LockTable,
+    mode: FlatMode,
+}
+
+impl FlatObjectScheduler {
+    /// Creates the exclusive-per-invocation variant.
+    pub fn exclusive() -> Self {
+        FlatObjectScheduler {
+            table: LockTable::new(),
+            mode: FlatMode::Exclusive,
+        }
+    }
+
+    /// Creates the read/write variant.
+    pub fn read_write() -> Self {
+        FlatObjectScheduler {
+            table: LockTable::new(),
+            mode: FlatMode::ReadWrite,
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FlatMode {
+        self.mode
+    }
+
+    fn acquire_object_lock(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        exclusive: bool,
+        view: &dyn TxnView,
+    ) -> Decision {
+        // Locks are owned by the *top-level* transaction: the whole nested
+        // computation is treated as one flat transaction.
+        let top = view.top_level_of(exec);
+        let key = LockKey::Object { exclusive };
+        let ty = view.type_of(object);
+        let blockers = self.table.blockers(object, &key, top, &ty, view);
+        if blockers.is_empty() {
+            self.table.grant(object, top, key);
+            Decision::Grant
+        } else {
+            Decision::block(blockers)
+        }
+    }
+}
+
+impl Scheduler for FlatObjectScheduler {
+    fn name(&self) -> String {
+        match self.mode {
+            FlatMode::Exclusive => "flat-excl".to_owned(),
+            FlatMode::ReadWrite => "flat-rw".to_owned(),
+        }
+    }
+
+    fn request_invoke(
+        &mut self,
+        exec: ExecId,
+        target: ObjectId,
+        _method: &str,
+        view: &dyn TxnView,
+    ) -> Decision {
+        match self.mode {
+            FlatMode::Exclusive => self.acquire_object_lock(exec, target, true, view),
+            FlatMode::ReadWrite => Decision::Grant,
+        }
+    }
+
+    fn request_local(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        op: &Operation,
+        view: &dyn TxnView,
+    ) -> Decision {
+        match self.mode {
+            FlatMode::Exclusive => Decision::Grant, // already covered by the invoke lock
+            FlatMode::ReadWrite => {
+                let ty = view.type_of(object);
+                let exclusive = !ty.op_is_readonly(op);
+                self.acquire_object_lock(exec, object, exclusive, view)
+            }
+        }
+    }
+
+    fn on_commit(&mut self, exec: ExecId, view: &dyn TxnView) {
+        // Only the top-level commit releases locks (strict 2PL over the flat
+        // transaction).
+        if view.parent(exec).is_none() {
+            self.table.inherit_or_release(exec, None);
+        }
+    }
+
+    fn on_abort(&mut self, exec: ExecId, view: &dyn TxnView) {
+        if view.parent(exec).is_none() {
+            self.table.release_all(exec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_adt::Counter;
+    use obase_core::object::TypeHandle;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    struct TestView {
+        parents: BTreeMap<ExecId, ExecId>,
+    }
+
+    impl TestView {
+        fn new() -> Self {
+            let mut parents = BTreeMap::new();
+            parents.insert(ExecId(10), ExecId(0));
+            parents.insert(ExecId(11), ExecId(1));
+            TestView { parents }
+        }
+    }
+
+    impl TxnView for TestView {
+        fn parent(&self, e: ExecId) -> Option<ExecId> {
+            self.parents.get(&e).copied()
+        }
+        fn object_of(&self, _e: ExecId) -> ObjectId {
+            ObjectId(0)
+        }
+        fn type_of(&self, _o: ObjectId) -> TypeHandle {
+            Arc::new(Counter::default())
+        }
+        fn is_live(&self, _e: ExecId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn exclusive_mode_serialises_whole_objects() {
+        let view = TestView::new();
+        let mut s = FlatObjectScheduler::exclusive();
+        assert_eq!(s.name(), "flat-excl");
+        let o = ObjectId(5);
+        assert!(s.request_invoke(ExecId(10), o, "m", &view).is_grant());
+        // A second transaction's invocation of the same object blocks even
+        // though its operations would commute (the semantic information is
+        // lost at this granularity).
+        let d = s.request_invoke(ExecId(11), o, "m", &view);
+        assert_eq!(d, Decision::block([ExecId(0)]));
+        // Local operations are free (already covered by the invoke lock).
+        assert!(s
+            .request_local(ExecId(10), o, &Operation::unary("Add", 1), &view)
+            .is_grant());
+        // Nested commit does not release; top-level commit does.
+        s.on_commit(ExecId(10), &view);
+        assert!(s.request_invoke(ExecId(11), o, "m", &view).is_block());
+        s.on_commit(ExecId(0), &view);
+        assert!(s.request_invoke(ExecId(11), o, "m", &view).is_grant());
+    }
+
+    #[test]
+    fn read_write_mode_allows_shared_readers() {
+        let view = TestView::new();
+        let mut s = FlatObjectScheduler::read_write();
+        assert_eq!(s.name(), "flat-rw");
+        let o = ObjectId(5);
+        // Invocations do not lock in RW mode.
+        assert!(s.request_invoke(ExecId(10), o, "m", &view).is_grant());
+        assert!(s.request_invoke(ExecId(11), o, "m", &view).is_grant());
+        // Two readers share.
+        assert!(s
+            .request_local(ExecId(10), o, &Operation::nullary("Get"), &view)
+            .is_grant());
+        assert!(s
+            .request_local(ExecId(11), o, &Operation::nullary("Get"), &view)
+            .is_grant());
+        // A writer blocks behind both readers' top-level owners.
+        let d = s.request_local(ExecId(10), o, &Operation::unary("Add", 1), &view);
+        assert!(d.is_block());
+    }
+
+    #[test]
+    fn abort_of_top_level_releases() {
+        let view = TestView::new();
+        let mut s = FlatObjectScheduler::exclusive();
+        let o = ObjectId(2);
+        assert!(s.request_invoke(ExecId(10), o, "m", &view).is_grant());
+        s.on_abort(ExecId(10), &view); // nested abort: no release
+        assert!(s.request_invoke(ExecId(11), o, "m", &view).is_block());
+        s.on_abort(ExecId(0), &view); // top-level abort: release
+        assert!(s.request_invoke(ExecId(11), o, "m", &view).is_grant());
+    }
+}

@@ -1,0 +1,32 @@
+//! # obase-lock — nested two-phase locking for object bases
+//!
+//! This crate implements the locking side of Section 5.1 of the paper:
+//!
+//! * [`n2pl::N2plScheduler`] — nested two-phase locking (Moss' algorithm as
+//!   generalised by the paper's rules 1–5): locks are associated with
+//!   operations or with steps, a lock can be acquired only if every
+//!   conflicting lock is owned by an ancestor, and on commit a method
+//!   execution's locks are inherited by its parent (rule 5). Both
+//!   implementation styles discussed in the paper are available:
+//!   conservative *operation-level* locks and return-value-aware *step-level*
+//!   locks ([`LockGranularity`]).
+//! * [`flat::FlatObjectScheduler`] — the baseline sketched in the
+//!   introduction (and used by Gemstone): treat every object as a single
+//!   data item, allow one active method execution per object, and run
+//!   strict two-phase locking at the granularity of whole objects and
+//!   top-level transactions.
+//!
+//! The schedulers implement [`obase_core::sched::Scheduler`] and are driven
+//! by the engine in `obase-exec`, which also provides deadlock detection
+//! using the `waiting_for` sets the schedulers report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod n2pl;
+pub mod table;
+
+pub use flat::{FlatMode, FlatObjectScheduler};
+pub use n2pl::N2plScheduler;
+pub use table::{LockGranularity, LockKey, LockTable};

@@ -1,0 +1,21 @@
+//! # obase-occ — optimistic (certifier) inter-object synchronisation
+//!
+//! Section 6 of the paper observes that inter-object synchronisation can be
+//! done optimistically, "resembling certifiers in conventional database
+//! concurrency control", at the cost of commit-time aborts but with maximal
+//! freedom for intra-object synchronisation. This crate provides that
+//! certifier: as steps are installed it maintains a conflict graph over
+//! top-level transactions (the projection of the serialisation graph that
+//! Theorem 5 says must stay acyclic), and at commit time a transaction that
+//! lies on a cycle is aborted.
+//!
+//! The certifier is also the inter-object half of the *mixed* scheduler in
+//! `obase-exec`, which pairs it with per-object intra-object policies
+//! (Section 2's vision of each object choosing its own algorithm).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certifier;
+
+pub use certifier::SgtCertifier;

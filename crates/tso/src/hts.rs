@@ -1,0 +1,143 @@
+//! Hierarchical timestamps.
+//!
+//! Each method execution `e` carries a hierarchical timestamp `hts(e)` of the
+//! form `(a₁, a₂, ..., a_k)` where the prefix `(a₁, ..., a_{k-1})` is the
+//! parent's timestamp; timestamps are totally ordered lexicographically
+//! (Section 5.2). Top-level executions draw their single component from a
+//! counter maintained by the environment so that a transaction that finishes
+//! before another starts has the smaller timestamp.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A hierarchical timestamp: a non-empty sequence of counters, ordered
+/// lexicographically.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HierTimestamp(Vec<u64>);
+
+impl HierTimestamp {
+    /// Creates a top-level timestamp with a single component.
+    pub fn top_level(component: u64) -> Self {
+        HierTimestamp(vec![component])
+    }
+
+    /// Creates the timestamp of a child: the parent's timestamp extended with
+    /// one component.
+    pub fn child(&self, component: u64) -> Self {
+        let mut v = self.0.clone();
+        v.push(component);
+        HierTimestamp(v)
+    }
+
+    /// The components of the timestamp.
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// The nesting depth (1 for top-level executions).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The parent's timestamp, if this is not top-level.
+    pub fn parent(&self) -> Option<HierTimestamp> {
+        if self.0.len() > 1 {
+            Some(HierTimestamp(self.0[..self.0.len() - 1].to_vec()))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `self` is a prefix of (an ancestor timestamp of)
+    /// `other`, or equal to it.
+    pub fn is_prefix_of(&self, other: &HierTimestamp) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Returns `true` if the two timestamps belong to comparable executions
+    /// (one is a prefix of the other).
+    pub fn comparable(&self, other: &HierTimestamp) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+}
+
+impl PartialOrd for HierTimestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HierTimestamp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for HierTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for HierTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        let t1 = HierTimestamp::top_level(1);
+        let t2 = HierTimestamp::top_level(2);
+        let t1a = t1.child(1);
+        let t1b = t1.child(2);
+        assert!(t1 < t2);
+        assert!(t1 < t1a, "a parent precedes its children lexicographically");
+        assert!(t1a < t1b);
+        assert!(t1b < t2);
+        assert!(t1a.child(5) < t1b);
+    }
+
+    #[test]
+    fn genealogy_helpers() {
+        let t1 = HierTimestamp::top_level(3);
+        let c = t1.child(7);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.parent(), Some(t1.clone()));
+        assert_eq!(t1.parent(), None);
+        assert!(t1.is_prefix_of(&c));
+        assert!(!c.is_prefix_of(&t1));
+        assert!(t1.comparable(&c));
+        let t2 = HierTimestamp::top_level(4);
+        assert!(!t1.comparable(&t2));
+        assert_eq!(c.components(), &[3, 7]);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = HierTimestamp::top_level(1).child(2).child(3);
+        assert_eq!(t.to_string(), "⟨1.2.3⟩");
+    }
+
+    #[test]
+    fn rule2_shape_serial_messages_ordered() {
+        // Messages issued serially by the same parent get increasing child
+        // components, hence increasing timestamps.
+        let parent = HierTimestamp::top_level(9);
+        let first = parent.child(1);
+        let second = parent.child(2);
+        assert!(first < second);
+    }
+}

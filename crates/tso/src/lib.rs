@@ -1,0 +1,30 @@
+//! # obase-tso — nested timestamp ordering for object bases
+//!
+//! Implementation of Reed's nested timestamp ordering (NTO) as formalised in
+//! Section 5.2 of the paper:
+//!
+//! 1. if incomparable executions issue conflicting local steps, the earlier
+//!    step's execution must have the smaller hierarchical timestamp;
+//! 2. if two messages of one execution are ordered by its program order,
+//!    their child executions' timestamps must be ordered accordingly.
+//!
+//! Both implementation styles of the paper are provided by
+//! [`nto::NtoScheduler`]:
+//!
+//! * **conservative** — per object and operation, only the maximum timestamp
+//!   of any issuer is retained (`hts(a)`), and conflicts are judged at the
+//!   operation level;
+//! * **provisional** — operations are provisionally executed, the resulting
+//!   step is validated against the retained step history using the
+//!   return-value-aware conflict relation, and obsolete entries are discarded
+//!   once no active execution can precede them (the "forgetting" mechanism
+//!   sketched in the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hts;
+pub mod nto;
+
+pub use hts::HierTimestamp;
+pub use nto::{NtoScheduler, NtoStyle};

@@ -1,0 +1,125 @@
+//! Skewed access distributions for workload generators.
+
+use rand::Rng;
+
+/// A Zipf-like sampler over `0..n` with skew parameter `theta`.
+///
+/// `theta = 0` is the uniform distribution; larger values concentrate the
+/// probability mass on the low indices (the "hot" items). The implementation
+/// precomputes the cumulative distribution, which is fine for the object
+/// counts used in the experiments (up to a few thousand).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with the given skew.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one item");
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cumulative: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the distribution has exactly one item.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws an index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Draws a pair of *distinct* indices (useful for transfers).
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, usize) {
+        if self.len() == 1 {
+            return (0, 0);
+        }
+        let a = self.sample(rng);
+        loop {
+            let b = self.sample(rng);
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_covers_all_items() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut seen = vec![false; 8];
+        for _ in 0..1000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn skew_prefers_low_indices() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut low = 0;
+        for _ in 0..2000 {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With heavy skew, well over half the draws hit the first 10 items.
+        assert!(low > 1000, "only {low} of 2000 draws were hot");
+    }
+
+    #[test]
+    fn pairs_are_distinct() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (a, b) = z.sample_pair(&mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn singleton_distribution() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.sample_pair(&mut rng), (0, 0));
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_distribution_panics() {
+        Zipf::new(0, 0.0);
+    }
+}

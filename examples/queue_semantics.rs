@@ -1,0 +1,59 @@
+//! The paper's Section 5.1 queue example: step-level (return-value-aware)
+//! locks admit more concurrency than operation-level locks.
+//!
+//! "In many reasonable representations of queues, an Enqueue conflicts with a
+//! Dequeue only if the latter returns the item placed into the queue by the
+//! former."
+//!
+//! Run with `cargo run --example queue_semantics`.
+
+use obase::prelude::*;
+use obase::workload::{queues, QueueParams};
+
+fn run_with(scheduler_name: &str, step_locks: bool, preload: usize) -> obase::exec::RunMetrics {
+    let wl = queues(&QueueParams {
+        queues: 1,
+        producers: 12,
+        consumers: 12,
+        preload,
+        seed: 17,
+    });
+    let mut scheduler = if step_locks {
+        N2plScheduler::step_locks()
+    } else {
+        N2plScheduler::operation_locks()
+    };
+    let cfg = EngineConfig {
+        seed: 17,
+        clients: 6,
+        ..Default::default()
+    };
+    let result = run(&wl, &mut scheduler, &cfg);
+    assert!(obase::core::sg::certifies_serialisable(&result.history));
+    println!(
+        "{scheduler_name:<22} preload={preload:<3} committed={:<3} blocked={:<4} rounds={:<5} throughput={:.3}",
+        result.metrics.committed,
+        result.metrics.blocked_events,
+        result.metrics.rounds,
+        result.metrics.throughput()
+    );
+    result.metrics
+}
+
+fn main() {
+    println!("Producer/consumer queue, 12 producers + 12 consumers, 6 clients\n");
+    for preload in [0, 4, 16, 64] {
+        let op = run_with("N2PL operation locks", false, preload);
+        let step = run_with("N2PL step locks", true, preload);
+        let speedup = step.throughput() / op.throughput().max(f64::EPSILON);
+        println!(
+            "  -> step-level locking throughput advantage: {speedup:.2}x (blocking {} vs {})\n",
+            step.blocked_events, op.blocked_events
+        );
+    }
+    println!(
+        "With items already in the queue, a Dequeue returns an item that no\n\
+         concurrent Enqueue produced, so step-level locks let producers and\n\
+         consumers run in parallel while operation-level locks serialise them."
+    );
+}

@@ -1,0 +1,64 @@
+//! # obase — transaction synchronisation in object bases
+//!
+//! A Rust reproduction of *T. Hadzilacos & V. Hadzilacos, "Transaction
+//! Synchronisation in Object Bases"* (PODS 1988; JCSS 43, 1991): a formal
+//! model of nested transactions over objects with semantic (commutativity
+//! based) conflicts, the generalised serialisability theorem and its
+//! per-object refinement, and executable concurrency-control algorithms —
+//! nested two-phase locking, nested timestamp ordering, flat baselines and an
+//! optimistic inter-object certifier — driven by a deterministic interleaving
+//! simulator with workload generators and an experiment harness.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`core`] — the formal model (histories, conflicts, serialisation
+//!   graphs, Theorems 1, 2 and 5);
+//! * [`adt`] — semantic object types (registers, counters, accounts, sets,
+//!   dictionaries, FIFO queues, a from-scratch B-tree);
+//! * [`lock`] — nested two-phase locking and the flat Gemstone-style
+//!   baseline;
+//! * [`tso`] — nested timestamp ordering (conservative and provisional);
+//! * [`occ`] — the optimistic serialisation-graph certifier;
+//! * [`exec`] — transaction programs, the interleaving engine and the mixed
+//!   per-object scheduler;
+//! * [`workload`] — seeded workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use obase::prelude::*;
+//!
+//! // Generate a small banking workload and run it under nested 2PL.
+//! let wl = obase::workload::banking(&obase::workload::BankingParams {
+//!     accounts: 4,
+//!     transactions: 8,
+//!     ..Default::default()
+//! });
+//! let mut scheduler = N2plScheduler::operation_locks();
+//! let result = run(&wl, &mut scheduler, &EngineConfig::default());
+//!
+//! assert_eq!(result.metrics.committed, 8);
+//! // Every history a correct scheduler admits has an acyclic serialisation
+//! // graph (Theorem 2) and is therefore serialisable.
+//! assert!(obase::core::sg::certifies_serialisable(&result.history));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use obase_adt as adt;
+pub use obase_core as core;
+pub use obase_exec as exec;
+pub use obase_lock as lock;
+pub use obase_occ as occ;
+pub use obase_tso as tso;
+pub use obase_workload as workload;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use obase_core::prelude::*;
+    pub use obase_exec::{run, EngineConfig, MethodDef, Program, RunResult, TxnSpec, WorkloadSpec};
+    pub use obase_lock::{FlatObjectScheduler, N2plScheduler};
+    pub use obase_occ::SgtCertifier;
+    pub use obase_tso::NtoScheduler;
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration tests: every scheduler, every workload generator,
+//! with post-hoc verification of the committed history against the paper's
+//! theorems.
+
+use obase::exec::MixedScheduler;
+use obase::prelude::*;
+use obase::workload as wl;
+use obase_core::sched::Scheduler;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(FlatObjectScheduler::exclusive()),
+        Box::new(FlatObjectScheduler::read_write()),
+        Box::new(N2plScheduler::operation_locks()),
+        Box::new(N2plScheduler::step_locks()),
+        Box::new(NtoScheduler::conservative()),
+        Box::new(NtoScheduler::provisional()),
+        Box::new(SgtCertifier::new()),
+        Box::new(MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks()))),
+    ]
+}
+
+fn verify(result: &RunResult, label: &str) {
+    assert!(
+        obase::core::legality::is_legal(&result.history),
+        "{label}: committed history is not legal"
+    );
+    assert!(
+        obase::core::sg::certifies_serialisable(&result.history),
+        "{label}: committed history has a cyclic serialisation graph"
+    );
+    assert!(
+        obase::core::local_graphs::theorem5_condition_holds(&result.history),
+        "{label}: Theorem 5 condition violated"
+    );
+    assert!(!result.metrics.timed_out, "{label}: run timed out");
+}
+
+fn config(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        clients: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn banking_under_every_scheduler_is_serialisable() {
+    let workload = wl::banking(&wl::BankingParams {
+        accounts: 6,
+        transactions: 24,
+        skew: 0.6,
+        ..Default::default()
+    });
+    for mut s in schedulers() {
+        let result = run(&workload, s.as_mut(), &config(101));
+        let label = result.metrics.scheduler.clone();
+        verify(&result, &label);
+        assert!(
+            result.metrics.committed + result.metrics.gave_up == 24,
+            "{label}: every transaction either commits or exhausts its retries"
+        );
+    }
+}
+
+#[test]
+fn counters_under_every_scheduler_preserve_the_sum() {
+    let workload = wl::counters(&wl::CounterParams {
+        counters: 4,
+        transactions: 20,
+        touches_per_txn: 2,
+        read_fraction: 0.0,
+        skew: 1.0,
+        seed: 7,
+    });
+    for mut s in schedulers() {
+        let result = run(&workload, s.as_mut(), &config(7));
+        let label = result.metrics.scheduler.clone();
+        verify(&result, &label);
+        // Each committed transaction adds exactly 2 across the counters.
+        let finals = obase::core::replay::final_states(&result.history).unwrap();
+        let total: i64 = finals.values().filter_map(Value::as_int).sum();
+        assert_eq!(
+            total,
+            2 * result.metrics.committed as i64,
+            "{label}: increments lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn queues_under_every_scheduler_are_serialisable() {
+    let workload = wl::queues(&wl::QueueParams {
+        queues: 2,
+        producers: 10,
+        consumers: 10,
+        preload: 6,
+        seed: 9,
+    });
+    for mut s in schedulers() {
+        let result = run(&workload, s.as_mut(), &config(9));
+        let label = result.metrics.scheduler.clone();
+        verify(&result, &label);
+    }
+}
+
+#[test]
+fn dictionaries_under_every_scheduler_are_serialisable() {
+    let workload = wl::dictionary(&wl::DictionaryParams {
+        dictionaries: 2,
+        keys: 24,
+        transactions: 20,
+        ops_per_txn: 3,
+        key_skew: 0.9,
+        ..Default::default()
+    });
+    for mut s in schedulers() {
+        let result = run(&workload, s.as_mut(), &config(13));
+        let label = result.metrics.scheduler.clone();
+        verify(&result, &label);
+    }
+}
+
+#[test]
+fn nested_orders_with_parallel_items_are_serialisable() {
+    let workload = wl::orders(&wl::OrdersParams {
+        transactions: 16,
+        items_per_order: 4,
+        parallel_items: true,
+        ..Default::default()
+    });
+    for mut s in schedulers() {
+        let result = run(&workload, s.as_mut(), &config(21));
+        let label = result.metrics.scheduler.clone();
+        verify(&result, &label);
+        // Orders nest: the history contains strictly more method executions
+        // than top-level transactions.
+        assert!(result.history.exec_count() > result.metrics.committed);
+    }
+}
+
+#[test]
+fn strict_lock_schedulers_never_cascade() {
+    let workload = wl::banking(&wl::BankingParams {
+        accounts: 3,
+        transactions: 30,
+        skew: 1.2,
+        audit_fraction: 0.3,
+        ..Default::default()
+    });
+    for mut s in [
+        Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
+        Box::new(N2plScheduler::step_locks()),
+        Box::new(FlatObjectScheduler::exclusive()),
+    ] {
+        let result = run(&workload, s.as_mut(), &config(31));
+        assert_eq!(
+            result.metrics.cascading_aborts, 0,
+            "{}: strict locking must not cascade",
+            result.metrics.scheduler
+        );
+    }
+}
+
+#[test]
+fn flat_baseline_blocks_more_than_semantic_locking_on_commuting_work() {
+    // The headline qualitative claim: semantic, nested CC admits more
+    // concurrency than the flat object-as-data-item baseline.
+    let workload = wl::counters(&wl::CounterParams {
+        counters: 2,
+        transactions: 24,
+        touches_per_txn: 2,
+        read_fraction: 0.0,
+        skew: 1.5,
+        seed: 3,
+    });
+    let flat = run(
+        &workload,
+        &mut FlatObjectScheduler::exclusive(),
+        &config(3),
+    );
+    let nested = run(&workload, &mut N2plScheduler::operation_locks(), &config(3));
+    assert!(flat.metrics.blocked_events > nested.metrics.blocked_events);
+    assert!(nested.metrics.throughput() >= flat.metrics.throughput());
+    // Semantic locking never blocks on pure increments.
+    assert_eq!(nested.metrics.blocked_events, 0);
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let workload = wl::orders(&wl::OrdersParams::default());
+    let a = run(&workload, &mut N2plScheduler::step_locks(), &config(77));
+    let b = run(&workload, &mut N2plScheduler::step_locks(), &config(77));
+    assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    assert_eq!(a.metrics.committed, b.metrics.committed);
+    assert_eq!(a.metrics.blocked_events, b.metrics.blocked_events);
+    assert_eq!(a.history.step_count(), b.history.step_count());
+}
