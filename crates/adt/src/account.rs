@@ -174,7 +174,9 @@ mod tests {
             .apply(&Value::Int(6), &Operation::unary("Deposit", 10))
             .unwrap();
         assert_eq!(s, Value::Int(16));
-        let (_, r) = a.apply(&Value::Int(16), &Operation::nullary("Balance")).unwrap();
+        let (_, r) = a
+            .apply(&Value::Int(16), &Operation::nullary("Balance"))
+            .unwrap();
         assert_eq!(r, Value::Int(16));
     }
 

@@ -65,11 +65,10 @@ impl SemanticType for Counter {
         if a.is_abort() || b.is_abort() {
             return false;
         }
-        match (a.name.as_str(), b.name.as_str()) {
-            ("Add", "Add") => false,
-            ("Get", "Get") => false,
-            _ => true,
-        }
+        !matches!(
+            (a.name.as_str(), b.name.as_str()),
+            ("Add", "Add") | ("Get", "Get")
+        )
     }
 
     fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
@@ -115,9 +114,13 @@ mod tests {
     fn semantics() {
         let c = Counter::with_initial(10);
         assert_eq!(c.initial_state(), Value::Int(10));
-        let (s, _) = c.apply(&Value::Int(10), &Operation::unary("Add", 5)).unwrap();
+        let (s, _) = c
+            .apply(&Value::Int(10), &Operation::unary("Add", 5))
+            .unwrap();
         assert_eq!(s, Value::Int(15));
-        let (_, v) = c.apply(&Value::Int(15), &Operation::nullary("Get")).unwrap();
+        let (_, v) = c
+            .apply(&Value::Int(15), &Operation::nullary("Get"))
+            .unwrap();
         assert_eq!(v, Value::Int(15));
         assert!(c.apply(&Value::Unit, &Operation::nullary("Get")).is_err());
         assert!(c.apply(&Value::Int(0), &Operation::nullary("Add")).is_err());

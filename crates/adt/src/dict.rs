@@ -22,13 +22,10 @@ pub struct Dictionary;
 
 impl Dictionary {
     fn entries(&self, state: &Value) -> Result<BTreeMap<String, Value>, TypeError> {
-        state
-            .as_map()
-            .cloned()
-            .ok_or_else(|| TypeError::BadState {
-                type_name: "Dictionary".into(),
-                expected: "Map of entries".into(),
-            })
+        state.as_map().cloned().ok_or_else(|| TypeError::BadState {
+            type_name: "Dictionary".into(),
+            expected: "Map of entries".into(),
+        })
     }
 
     fn key(&self, op: &Operation) -> Result<String, TypeError> {
@@ -104,15 +101,9 @@ impl SemanticType for Dictionary {
                 false
             }
             _ if a.name == "Size" || b.name == "Size" => mutates(a) || mutates(b),
-            _ if keyed(a) && keyed(b) => {
-                // Operations on different keys never conflict.
-                if a.arg(0) != b.arg(0) {
-                    false
-                } else {
-                    // Same key: only Lookup/Lookup commutes (handled above).
-                    true
-                }
-            }
+            // Operations on different keys never conflict; on the same key
+            // only Lookup/Lookup commutes (handled above).
+            _ if keyed(a) && keyed(b) => a.arg(0) == b.arg(0),
             _ => true,
         }
     }
@@ -126,9 +117,7 @@ impl SemanticType for Dictionary {
         // delete and with a lookup that found nothing.
         match (a.op.name.as_str(), b.op.name.as_str()) {
             ("Insert", "Insert") => !(a.op.arg(1) == b.op.arg(1) && a.ret == b.ret),
-            ("Delete", "Delete") => {
-                !(a.ret == Value::Bool(false) && b.ret == Value::Bool(false))
-            }
+            ("Delete", "Delete") => !(a.ret == Value::Bool(false) && b.ret == Value::Bool(false)),
             ("Delete", "Lookup") | ("Lookup", "Delete") => {
                 let del = if a.op.name == "Delete" { a } else { b };
                 let look = if a.op.name == "Lookup" { a } else { b };

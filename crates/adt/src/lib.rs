@@ -48,9 +48,9 @@ pub fn all_types() -> Vec<TypeHandle> {
         Arc::new(Register::default()),
         Arc::new(Counter::default()),
         Arc::new(Account::default()),
-        Arc::new(SetObject::default()),
-        Arc::new(Dictionary::default()),
-        Arc::new(FifoQueue::default()),
+        Arc::new(SetObject),
+        Arc::new(Dictionary),
+        Arc::new(FifoQueue),
     ]
 }
 

@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn bad_operations_rejected() {
         let q = FifoQueue;
-        assert!(q.apply(&Value::Int(0), &Operation::nullary("Size")).is_err());
+        assert!(q
+            .apply(&Value::Int(0), &Operation::nullary("Size"))
+            .is_err());
         assert!(q
             .apply(&q.initial_state(), &Operation::nullary("Enqueue"))
             .is_err());

@@ -105,7 +105,9 @@ mod tests {
     #[test]
     fn read_write_semantics() {
         let r = Register::default();
-        let (s, v) = r.apply(&Value::Int(3), &Operation::nullary("Read")).unwrap();
+        let (s, v) = r
+            .apply(&Value::Int(3), &Operation::nullary("Read"))
+            .unwrap();
         assert_eq!(s, Value::Int(3));
         assert_eq!(v, Value::Int(3));
         let (s, v) = r
@@ -118,8 +120,12 @@ mod tests {
     #[test]
     fn bad_operations_rejected() {
         let r = Register::default();
-        assert!(r.apply(&Value::Int(0), &Operation::nullary("Write")).is_err());
-        assert!(r.apply(&Value::Int(0), &Operation::nullary("Incr")).is_err());
+        assert!(r
+            .apply(&Value::Int(0), &Operation::nullary("Write"))
+            .is_err());
+        assert!(r
+            .apply(&Value::Int(0), &Operation::nullary("Incr"))
+            .is_err());
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl SemanticType for SetObject {
         let mutates = |op: &Operation| matches!(op.name.as_str(), "Insert" | "Remove");
         let observes_all = |op: &Operation| op.name == "Size";
         match (a.name.as_str(), b.name.as_str()) {
-            ("Contains", "Contains") | ("Size", "Size") | ("Contains", "Size")
+            ("Contains", "Contains")
+            | ("Size", "Size")
+            | ("Contains", "Size")
             | ("Size", "Contains") => false,
             _ => {
                 if observes_all(a) || observes_all(b) {
@@ -184,11 +186,23 @@ mod tests {
     #[test]
     fn different_elements_commute() {
         let s = SetObject;
-        assert!(!s.ops_conflict(&Operation::unary("Insert", 1), &Operation::unary("Insert", 2)));
-        assert!(!s.ops_conflict(&Operation::unary("Insert", 1), &Operation::unary("Remove", 2)));
-        assert!(s.ops_conflict(&Operation::unary("Insert", 1), &Operation::unary("Remove", 1)));
+        assert!(!s.ops_conflict(
+            &Operation::unary("Insert", 1),
+            &Operation::unary("Insert", 2)
+        ));
+        assert!(!s.ops_conflict(
+            &Operation::unary("Insert", 1),
+            &Operation::unary("Remove", 2)
+        ));
+        assert!(s.ops_conflict(
+            &Operation::unary("Insert", 1),
+            &Operation::unary("Remove", 1)
+        ));
         assert!(s.ops_conflict(&Operation::unary("Insert", 1), &Operation::nullary("Size")));
-        assert!(!s.ops_conflict(&Operation::unary("Contains", 1), &Operation::nullary("Size")));
+        assert!(!s.ops_conflict(
+            &Operation::unary("Contains", 1),
+            &Operation::nullary("Size")
+        ));
     }
 
     #[test]

@@ -1,38 +1,34 @@
 //! E1 — flat object-granularity baseline vs nested schedulers on the banking
-//! workload: time one engine run per scheduler.
+//! workload: time one engine run per scheduler spec.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::{FlatObjectScheduler, N2plScheduler};
-use obase_tso::NtoScheduler;
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{banking, BankingParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = banking(&BankingParams {
         accounts: 8,
         transactions: 16,
         skew: 0.6,
         ..Default::default()
     });
-    let cfg = EngineConfig {
-        seed: 1,
-        clients: 6,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e1_flat_vs_nested");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function(BenchmarkId::new("scheduler", "flat-excl"), |b| {
-        b.iter(|| run(&workload, &mut FlatObjectScheduler::exclusive(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("scheduler", "n2pl-op"), |b| {
-        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("scheduler", "nto-conservative"), |b| {
-        b.iter(|| run(&workload, &mut NtoScheduler::conservative(), &cfg))
-    });
+    let mut group = Group::new("e1_flat_vs_nested");
+    for spec in [
+        SchedulerSpec::flat_exclusive(),
+        SchedulerSpec::n2pl_operation(),
+        SchedulerSpec::nto_conservative(),
+    ] {
+        let label = spec.label();
+        let runtime = Runtime::builder()
+            .scheduler(spec)
+            .seed(1)
+            .clients(6)
+            .verify(Verify::None)
+            .build()
+            .unwrap();
+        group.bench(&format!("scheduler/{label}"), || {
+            runtime.run(&workload).unwrap()
+        });
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,11 @@
 //! E2 — operation-level vs step-level locks on the producer/consumer queue.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::N2plScheduler;
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{queues, QueueParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let cfg = EngineConfig {
-        seed: 2,
-        clients: 6,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e2_queue_locks");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut group = Group::new("e2_queue_locks");
     for preload in [0usize, 16] {
         let workload = queues(&QueueParams {
             queues: 1,
@@ -22,15 +14,17 @@ fn bench(c: &mut Criterion) {
             preload,
             seed: 2,
         });
-        group.bench_function(BenchmarkId::new("op-locks", preload), |b| {
-            b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-        });
-        group.bench_function(BenchmarkId::new("step-locks", preload), |b| {
-            b.iter(|| run(&workload, &mut N2plScheduler::step_locks(), &cfg))
-        });
+        for spec in [SchedulerSpec::n2pl_operation(), SchedulerSpec::n2pl_step()] {
+            let label = format!("{}/preload-{preload}", spec.label());
+            let runtime = Runtime::builder()
+                .scheduler(spec)
+                .seed(2)
+                .clients(6)
+                .verify(Verify::None)
+                .build()
+                .unwrap();
+            group.bench(&label, || runtime.run(&workload).unwrap());
+        }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,11 @@
 //! E3 — semantic (commutativity) conflicts vs read/write conflicts on a
 //! counter hotspot.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::{FlatObjectScheduler, N2plScheduler};
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{counters, CounterParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = counters(&CounterParams {
         counters: 2,
         transactions: 16,
@@ -16,21 +14,19 @@ fn bench(c: &mut Criterion) {
         skew: 1.2,
         seed: 3,
     });
-    let cfg = EngineConfig {
-        seed: 3,
-        clients: 8,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e3_semantic_conflict");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function(BenchmarkId::new("conflicts", "read-write"), |b| {
-        b.iter(|| run(&workload, &mut FlatObjectScheduler::read_write(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("conflicts", "semantic"), |b| {
-        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-    });
+    let mut group = Group::new("e3_semantic_conflict");
+    for (label, spec) in [
+        ("conflicts/read-write", SchedulerSpec::flat_read_write()),
+        ("conflicts/semantic", SchedulerSpec::n2pl_operation()),
+    ] {
+        let runtime = Runtime::builder()
+            .scheduler(spec)
+            .seed(3)
+            .clients(8)
+            .verify(Verify::None)
+            .build()
+            .unwrap();
+        group.bench(label, || runtime.run(&workload).unwrap());
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,10 @@
 //! E4 — N2PL (blocking) vs NTO (aborting) under contention.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::N2plScheduler;
-use obase_tso::NtoScheduler;
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{dictionary, DictionaryParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = dictionary(&DictionaryParams {
         dictionaries: 2,
         keys: 16,
@@ -17,24 +14,21 @@ fn bench(c: &mut Criterion) {
         key_skew: 1.0,
         seed: 4,
     });
-    let cfg = EngineConfig {
-        seed: 4,
-        clients: 8,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e4_n2pl_vs_nto");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function(BenchmarkId::new("scheduler", "n2pl-op"), |b| {
-        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("scheduler", "nto-conservative"), |b| {
-        b.iter(|| run(&workload, &mut NtoScheduler::conservative(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("scheduler", "nto-provisional"), |b| {
-        b.iter(|| run(&workload, &mut NtoScheduler::provisional(), &cfg))
-    });
+    let mut group = Group::new("e4_n2pl_vs_nto");
+    for spec in [
+        SchedulerSpec::n2pl_operation(),
+        SchedulerSpec::nto_conservative(),
+        SchedulerSpec::nto_provisional(),
+    ] {
+        let label = format!("scheduler/{}", spec.label());
+        let runtime = Runtime::builder()
+            .scheduler(spec)
+            .seed(4)
+            .clients(8)
+            .verify(Verify::None)
+            .build()
+            .unwrap();
+        group.bench(&label, || runtime.run(&workload).unwrap());
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,18 +2,11 @@
 //! Theorem 5 per-object test, and the brute-force oracle) on small random
 //! histories.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use obase_bench::e5_sg_checkers;
-use std::time::Duration;
+use obase_bench::quick::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_sg_checkers");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    group.bench_function("sample_20_histories", |b| {
-        b.iter(|| e5_sg_checkers(20))
-    });
+fn main() {
+    let mut group = Group::new("e5_sg_checkers");
+    group.bench("sample_20_histories", || e5_sg_checkers(20));
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,11 @@
 //! E6 — mixed per-object intra-object policies plus the inter-object
 //! certifier vs uniform policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig, MixedScheduler};
-use obase_lock::{FlatObjectScheduler, N2plScheduler};
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{dictionary, DictionaryParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = dictionary(&DictionaryParams {
         dictionaries: 3,
         keys: 32,
@@ -17,28 +15,23 @@ fn bench(c: &mut Criterion) {
         key_skew: 0.8,
         seed: 6,
     });
-    let cfg = EngineConfig {
-        seed: 6,
-        clients: 8,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e6_mixed_cc");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function(BenchmarkId::new("policy", "uniform-flat"), |b| {
-        b.iter(|| run(&workload, &mut FlatObjectScheduler::exclusive(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("policy", "uniform-n2pl"), |b| {
-        b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-    });
-    group.bench_function(BenchmarkId::new("policy", "mixed"), |b| {
-        b.iter(|| {
-            let mut s =
-                MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks()));
-            run(&workload, &mut s, &cfg)
-        })
-    });
+    let mut group = Group::new("e6_mixed_cc");
+    for (label, spec) in [
+        ("policy/uniform-flat", SchedulerSpec::flat_exclusive()),
+        ("policy/uniform-n2pl", SchedulerSpec::n2pl_operation()),
+        (
+            "policy/mixed",
+            SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()),
+        ),
+    ] {
+        let runtime = Runtime::builder()
+            .scheduler(spec)
+            .seed(6)
+            .clients(8)
+            .verify(Verify::None)
+            .build()
+            .unwrap();
+        group.bench(label, || runtime.run(&workload).unwrap());
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,11 @@
 //! E7 — internal parallelism of methods (Par vs Seq line items).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::N2plScheduler;
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload::{orders, OrdersParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let cfg = EngineConfig {
-        seed: 7,
-        clients: 4,
-        ..Default::default()
-    };
-    let mut group = c.benchmark_group("e7_internal_parallelism");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut group = Group::new("e7_internal_parallelism");
     for parallel in [false, true] {
         let workload = orders(&OrdersParams {
             transactions: 12,
@@ -21,13 +13,19 @@ fn bench(c: &mut Criterion) {
             parallel_items: parallel,
             ..Default::default()
         });
-        let label = if parallel { "par" } else { "seq" };
-        group.bench_function(BenchmarkId::new("line_items", label), |b| {
-            b.iter(|| run(&workload, &mut N2plScheduler::operation_locks(), &cfg))
-        });
+        let label = if parallel {
+            "line_items/par"
+        } else {
+            "line_items/seq"
+        };
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .seed(7)
+            .clients(4)
+            .verify(Verify::None)
+            .build()
+            .unwrap();
+        group.bench(label, || runtime.run(&workload).unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

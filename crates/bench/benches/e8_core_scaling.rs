@@ -1,43 +1,36 @@
 //! E8 — cost of the core-model analyses (legality, replay, serialisation
 //! graph) as the recorded history grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obase_exec::{run, EngineConfig};
-use obase_lock::N2plScheduler;
+use obase_bench::quick::Group;
+use obase_runtime::{Runtime, SchedulerSpec};
 use obase_workload::{banking, BankingParams};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_core_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut group = Group::new("e8_core_scaling");
     for txns in [8usize, 32] {
         let workload = banking(&BankingParams {
             accounts: 8,
             transactions: txns,
             ..Default::default()
         });
-        let result = run(
-            &workload,
-            &mut N2plScheduler::operation_locks(),
-            &EngineConfig {
-                seed: 8,
-                clients: 8,
-                ..Default::default()
-            },
-        );
-        let history = result.history;
-        group.bench_function(BenchmarkId::new("legality", txns), |b| {
-            b.iter(|| obase_core::legality::is_legal(&history))
+        let report = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .seed(8)
+            .clients(8)
+            .build()
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+        let history = report.history;
+        group.bench(&format!("legality/{txns}"), || {
+            obase_core::legality::is_legal(&history)
         });
-        group.bench_function(BenchmarkId::new("replay", txns), |b| {
-            b.iter(|| obase_core::replay::final_states(&history).unwrap())
+        group.bench(&format!("replay/{txns}"), || {
+            obase_core::replay::final_states(&history).unwrap()
         });
-        group.bench_function(BenchmarkId::new("serialisation_graph", txns), |b| {
-            b.iter(|| obase_core::sg::serialisation_graph(&history).is_acyclic())
+        group.bench(&format!("serialisation_graph/{txns}"), || {
+            obase_core::sg::serialisation_graph(&history).is_acyclic()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

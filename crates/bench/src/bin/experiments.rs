@@ -10,6 +10,13 @@
 
 use obase_bench as xp;
 
+/// An experiment entry: key, title, and the row-producing function.
+type Experiment = (
+    &'static str,
+    &'static str,
+    Box<dyn Fn(usize) -> Vec<xp::Row>>,
+);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1usize;
@@ -28,7 +35,7 @@ fn main() {
     }
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
-    let experiments: Vec<(&str, &str, Box<dyn Fn(usize) -> Vec<xp::Row>>)> = vec![
+    let experiments: Vec<Experiment> = vec![
         (
             "e1",
             "E1 — flat object-granularity baseline vs nested schedulers (banking)",

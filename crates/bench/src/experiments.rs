@@ -1,16 +1,12 @@
 //! Experiment implementations (see DESIGN.md §5 for the index).
 
-use obase_core::sched::Scheduler;
-use obase_exec::{run, EngineConfig, MixedScheduler, RunMetrics, WorkloadSpec};
-use obase_lock::{FlatObjectScheduler, N2plScheduler};
-use obase_occ::SgtCertifier;
-use obase_tso::NtoScheduler;
+use obase_exec::{RunMetrics, WorkloadSpec};
+use obase_runtime::{Runtime, SchedulerSpec, Verify};
 use obase_workload as wl;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// One row of an experiment table: a label plus named numeric columns.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (e.g. the scheduler or the swept parameter value).
     pub label: String,
@@ -67,34 +63,27 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     out
 }
 
-fn config(seed: u64, clients: usize) -> EngineConfig {
-    EngineConfig {
-        seed,
-        clients,
-        ..Default::default()
-    }
-}
-
-fn run_and_check(workload: &WorkloadSpec, scheduler: &mut dyn Scheduler, cfg: &EngineConfig) -> RunMetrics {
-    let result = run(workload, scheduler, cfg);
+fn run_and_check(
+    workload: &WorkloadSpec,
+    spec: SchedulerSpec,
+    seed: u64,
+    clients: usize,
+) -> RunMetrics {
+    let report = Runtime::builder()
+        .scheduler(spec)
+        .seed(seed)
+        .clients(clients)
+        .verify(Verify::Quick)
+        .build()
+        .expect("valid experiment configuration")
+        .run(workload)
+        .expect("well-formed generated workload");
     assert!(
-        obase_core::sg::certifies_serialisable(&result.history),
+        report.checks.all_passed(),
         "{} produced a non-serialisable history",
-        result.metrics.scheduler
+        report.scheduler
     );
-    result.metrics
-}
-
-fn standard_schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(FlatObjectScheduler::exclusive()),
-        Box::new(FlatObjectScheduler::read_write()),
-        Box::new(N2plScheduler::operation_locks()),
-        Box::new(N2plScheduler::step_locks()),
-        Box::new(NtoScheduler::conservative()),
-        Box::new(NtoScheduler::provisional()),
-        Box::new(SgtCertifier::new()),
-    ]
+    report.metrics
 }
 
 fn metrics_row(label: &str, m: &RunMetrics) -> Row {
@@ -117,9 +106,12 @@ pub fn e1_flat_vs_nested(scale: usize) -> Vec<Row> {
             skew: 0.6,
             ..Default::default()
         });
-        for mut s in standard_schedulers() {
-            let m = run_and_check(&workload, s.as_mut(), &config(1001, 8));
-            rows.push(metrics_row(&format!("{} / {accounts} accounts", m.scheduler), &m));
+        for spec in SchedulerSpec::all_basic() {
+            let m = run_and_check(&workload, spec, 1001, 8);
+            rows.push(metrics_row(
+                &format!("{} / {accounts} accounts", m.scheduler),
+                &m,
+            ));
         }
     }
     rows
@@ -138,15 +130,12 @@ pub fn e2_queue_locks(scale: usize) -> Vec<Row> {
             preload,
             seed: 1002,
         });
-        for (label, mut s) in [
-            (
-                "n2pl-op",
-                Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
-            ),
-            ("n2pl-step", Box::new(N2plScheduler::step_locks())),
-        ] {
-            let m = run_and_check(&workload, s.as_mut(), &config(1002, 6));
-            rows.push(metrics_row(&format!("{label} / preload {preload}"), &m));
+        for spec in [SchedulerSpec::n2pl_operation(), SchedulerSpec::n2pl_step()] {
+            let m = run_and_check(&workload, spec, 1002, 6);
+            rows.push(metrics_row(
+                &format!("{} / preload {preload}", m.scheduler),
+                &m,
+            ));
         }
     }
     rows
@@ -165,15 +154,15 @@ pub fn e3_semantic_conflict(scale: usize) -> Vec<Row> {
             skew: 1.0,
             seed: 1003,
         });
-        for (label, mut s) in [
-            (
-                "flat-rw (read/write)",
-                Box::new(FlatObjectScheduler::read_write()) as Box<dyn Scheduler>,
-            ),
-            ("n2pl-op (semantic)", Box::new(N2plScheduler::operation_locks())),
+        for (label, spec) in [
+            ("flat-rw (read/write)", SchedulerSpec::flat_read_write()),
+            ("n2pl-op (semantic)", SchedulerSpec::n2pl_operation()),
         ] {
-            let m = run_and_check(&workload, s.as_mut(), &config(1003, 8));
-            rows.push(metrics_row(&format!("{label} / {counters} hot counters"), &m));
+            let m = run_and_check(&workload, spec, 1003, 8);
+            rows.push(metrics_row(
+                &format!("{label} / {counters} hot counters"),
+                &m,
+            ));
         }
     }
     rows
@@ -193,13 +182,16 @@ pub fn e4_n2pl_vs_nto(scale: usize) -> Vec<Row> {
             key_skew: skew,
             seed: 1004,
         });
-        for mut s in [
-            Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
-            Box::new(NtoScheduler::conservative()),
-            Box::new(NtoScheduler::provisional()),
+        for spec in [
+            SchedulerSpec::n2pl_operation(),
+            SchedulerSpec::nto_conservative(),
+            SchedulerSpec::nto_provisional(),
         ] {
-            let m = run_and_check(&workload, s.as_mut(), &config(1004, 8));
-            rows.push(metrics_row(&format!("{} / skew {skew:.1}", m.scheduler), &m));
+            let m = run_and_check(&workload, spec, 1004, 8);
+            rows.push(metrics_row(
+                &format!("{} / skew {skew:.1}", m.scheduler),
+                &m,
+            ));
         }
     }
     rows
@@ -210,11 +202,10 @@ pub fn e4_n2pl_vs_nto(scale: usize) -> Vec<Row> {
 /// condition (Theorem 5), against the brute-force serialisability oracle.
 pub fn e5_sg_checkers(samples: usize) -> Vec<Row> {
     use obase_core::prelude::*;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use obase_rng::{Rng, SeedableRng};
     use std::sync::Arc;
 
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1005);
+    let mut rng = obase_rng::ChaCha8Rng::seed_from_u64(1005);
     let mut sg_accepts = 0usize;
     let mut t5_accepts = 0usize;
     let mut oracle_accepts = 0usize;
@@ -288,23 +279,23 @@ pub fn e6_mixed_cc(scale: usize) -> Vec<Row> {
         seed: 1006,
     });
     let mut rows = Vec::new();
-    let configs: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("uniform flat-excl", Box::new(FlatObjectScheduler::exclusive())),
-        ("uniform n2pl-op", Box::new(N2plScheduler::operation_locks())),
-        ("uniform occ-sgt", Box::new(SgtCertifier::new())),
+    // Note: the pre-0.2 "mixed, certifier only" configuration is exactly the
+    // SGT certifier (an empty mixed spec is now a validation error), so it
+    // appears here once under its honest label.
+    let configs: Vec<(&str, SchedulerSpec)> = vec![
+        ("uniform flat-excl", SchedulerSpec::flat_exclusive()),
+        ("uniform n2pl-op", SchedulerSpec::n2pl_operation()),
+        (
+            "certifier only (max intra freedom)",
+            SchedulerSpec::SgtCertifier,
+        ),
         (
             "mixed: per-object step locks + certifier",
-            Box::new(
-                MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks())),
-            ),
-        ),
-        (
-            "mixed: certifier only (max intra freedom)",
-            Box::new(MixedScheduler::new()),
+            SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()),
         ),
     ];
-    for (label, mut s) in configs {
-        let m = run_and_check(&workload, s.as_mut(), &config(1006, 8));
+    for (label, spec) in configs {
+        let m = run_and_check(&workload, spec, 1006, 8);
         rows.push(metrics_row(label, &m));
     }
     rows
@@ -323,12 +314,15 @@ pub fn e7_internal_parallelism(scale: usize) -> Vec<Row> {
             parallel_items: parallel,
             seed: 1007,
         });
-        let mut s = N2plScheduler::operation_locks();
-        let m = run_and_check(&workload, &mut s, &config(1007, 4));
+        let m = run_and_check(&workload, SchedulerSpec::n2pl_operation(), 1007, 4);
         let label = format!(
             "{} line items, {}",
             items,
-            if parallel { "parallel (Par)" } else { "sequential (Seq)" }
+            if parallel {
+                "parallel (Par)"
+            } else {
+                "sequential (Seq)"
+            }
         );
         rows.push(metrics_row(&label, &m));
     }
@@ -346,12 +340,15 @@ pub fn e8_core_scaling(scale: usize) -> Vec<Row> {
             transactions: txns * scale,
             ..Default::default()
         });
-        let result = run(
-            &workload,
-            &mut N2plScheduler::operation_locks(),
-            &config(1008, 8),
-        );
-        let h = &result.history;
+        let report = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .seed(1008)
+            .clients(8)
+            .build()
+            .expect("valid experiment configuration")
+            .run(&workload)
+            .expect("well-formed generated workload");
+        let h = &report.history;
         let t0 = Instant::now();
         assert!(obase_core::legality::is_legal(h));
         let legality_us = t0.elapsed().as_micros() as f64;
@@ -363,11 +360,15 @@ pub fn e8_core_scaling(scale: usize) -> Vec<Row> {
         assert!(sg.is_acyclic());
         let sg_us = t2.elapsed().as_micros() as f64;
         rows.push(
-            Row::new(format!("{} transactions ({} steps)", txns * scale, h.step_count()))
-                .with("steps", h.step_count() as f64)
-                .with("legality_us", legality_us)
-                .with("replay_us", replay_us)
-                .with("sg_us", sg_us),
+            Row::new(format!(
+                "{} transactions ({} steps)",
+                txns * scale,
+                h.step_count()
+            ))
+            .with("steps", h.step_count() as f64)
+            .with("legality_us", legality_us)
+            .with("replay_us", replay_us)
+            .with("sg_us", sg_us),
         );
     }
     rows

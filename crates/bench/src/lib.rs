@@ -5,12 +5,14 @@
 //! measurements; DESIGN.md carries the experiment index and EXPERIMENTS.md
 //! records the output of this harness. Each `eN` function returns the rows of
 //! one experiment table; the `experiments` binary prints them and the
-//! Criterion benches under `benches/` time the underlying operations.
+//! micro-benches under `benches/` (built on the in-repo [`quick`] harness)
+//! time the underlying operations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod quick;
 
 pub use experiments::{
     e1_flat_vs_nested, e2_queue_locks, e3_semantic_conflict, e4_n2pl_vs_nto, e5_sg_checkers,

@@ -1,0 +1,94 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! The Criterion-style benches under `benches/` are plain `harness = false`
+//! binaries built on this module: each case is warmed up, run for a fixed
+//! number of timed iterations, and reported as median/min per-iteration
+//! times. Keeping the harness in-repo keeps the workspace dependency-free;
+//! the numbers are indicative, not statistically rigorous.
+
+use std::time::{Duration, Instant};
+
+/// Default timed iterations per case.
+const ITERS: u32 = 10;
+/// Warm-up iterations per case.
+const WARMUP: u32 = 3;
+
+/// A named group of benchmark cases, printed as one block.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("## {name}");
+        println!("{:<40} {:>12} {:>12}", "case", "median", "min");
+        Group { name }
+    }
+
+    /// Times `f` and prints one row. The closure's return value is passed to
+    /// [`std::hint::black_box`] so the work is not optimised away.
+    pub fn bench<T>(&mut self, case: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..WARMUP {
+            std::hint::black_box(f());
+        }
+        let mut samples: Vec<Duration> = (0..ITERS)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{:<40} {:>12} {:>12}",
+            case,
+            format_duration(median),
+            format_duration(min)
+        );
+    }
+
+    /// Ends the group (prints a trailing blank line).
+    pub fn finish(self) {
+        let _ = &self.name;
+        println!();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(format_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(format_duration(Duration::from_secs(50)), "50.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u32;
+        let mut group = Group::new("test");
+        group.bench("counting", || count += 1);
+        group.finish();
+        assert_eq!(count, WARMUP + ITERS);
+    }
+}

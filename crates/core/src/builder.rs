@@ -208,7 +208,11 @@ impl HistoryBuilder {
     pub fn abort(&mut self, exec: ExecId) -> StepId {
         self.execs[exec.index()].aborted = true;
         let t = self.next_tick();
-        self.push_local(exec, LocalStep::new(Operation::abort(), ()), Interval::instant(t))
+        self.push_local(
+            exec,
+            LocalStep::new(Operation::abort(), ()),
+            Interval::instant(t),
+        )
     }
 
     /// Adds an explicit program-order edge `a ⊲ b` within an execution.
@@ -379,7 +383,9 @@ mod tests {
         let mut b = HistoryBuilder::new(base);
         let t = b.begin_top_level("T");
         let (_, e) = b.invoke(t, x, "m", []);
-        assert!(b.local_applied(e, Operation::nullary("Frobnicate")).is_err());
+        assert!(b
+            .local_applied(e, Operation::nullary("Frobnicate"))
+            .is_err());
     }
 
     #[test]

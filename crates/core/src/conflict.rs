@@ -292,19 +292,9 @@ mod tests {
         let ty = Counter;
         let a1 = step("Add", &[2], ());
         let a2 = step("Add", &[3], ());
-        assert!(steps_commute_over(
-            &ty,
-            &reachable_states(&ty, 2),
-            &a1,
-            &a2
-        ));
+        assert!(steps_commute_over(&ty, &reachable_states(&ty, 2), &a1, &a2));
         let g = step("Get", &[], 0);
-        assert!(!steps_commute_over(
-            &ty,
-            &reachable_states(&ty, 2),
-            &a1,
-            &g
-        ));
+        assert!(!steps_commute_over(&ty, &reachable_states(&ty, 2), &a1, &g));
     }
 
     #[test]

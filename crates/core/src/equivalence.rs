@@ -114,7 +114,6 @@ pub fn serial_layout(
         e: ExecId,
         clock: &mut u64,
         intervals: &mut [Interval],
-        sibling_order: &dyn Fn(&History, Option<ExecId>) -> Vec<ExecId>,
         step_order: &dyn Fn(&History, ExecId) -> Vec<StepId>,
     ) {
         for s in step_order(h, e) {
@@ -126,7 +125,7 @@ pub fn serial_layout(
                 StepKind::Message { child, .. } => {
                     let start = *clock;
                     *clock += 1;
-                    lay_exec(h, *child, clock, intervals, sibling_order, step_order);
+                    lay_exec(h, *child, clock, intervals, step_order);
                     let end = *clock;
                     *clock += 1;
                     intervals[s.index()] = Interval::new(start, end);
@@ -136,7 +135,7 @@ pub fn serial_layout(
     }
 
     for top in sibling_order(h, None) {
-        lay_exec(h, top, &mut clock, &mut intervals, sibling_order, step_order);
+        lay_exec(h, top, &mut clock, &mut intervals, step_order);
     }
     intervals
 }
@@ -196,8 +195,7 @@ pub fn enumerate_serial_relayouts(h: &History, cap: usize) -> Vec<History> {
         out
     }
 
-    let group_perms: Vec<Vec<Vec<ExecId>>> =
-        groups.iter().map(|g| permutations(g, cap)).collect();
+    let group_perms: Vec<Vec<Vec<ExecId>>> = groups.iter().map(|g| permutations(g, cap)).collect();
 
     let mut out = Vec::new();
     let mut choice = vec![0usize; group_perms.len()];
@@ -247,15 +245,12 @@ pub fn enumerate_serial_relayouts(h: &History, cap: usize) -> Vec<History> {
 /// in experiment E5.
 pub fn find_equivalent_serial(h: &History, cap: usize) -> Option<History> {
     let expected = replay::final_states(h).ok()?;
-    for candidate in enumerate_serial_relayouts(h, cap) {
-        if crate::legality::is_legal(&candidate)
-            && is_serial(&candidate)
-            && replay::final_states(&candidate).is_ok_and(|f| f == expected)
-        {
-            return Some(candidate);
-        }
-    }
-    None
+    let mut candidates = enumerate_serial_relayouts(h, cap).into_iter();
+    candidates.find(|candidate| {
+        crate::legality::is_legal(candidate)
+            && is_serial(candidate)
+            && replay::final_states(candidate).is_ok_and(|f| f == expected)
+    })
 }
 
 /// Bounded brute-force serialisability test (Definition 8).

@@ -167,7 +167,9 @@ pub enum LegalityError {
 impl fmt::Display for LegalityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LegalityError::DanglingReference { detail } => write!(f, "dangling reference: {detail}"),
+            LegalityError::DanglingReference { detail } => {
+                write!(f, "dangling reference: {detail}")
+            }
             LegalityError::MessageNotInjective { child, steps } => write!(
                 f,
                 "B is not one-to-one: execution {child} is the child of both {} and {}",
@@ -202,17 +204,24 @@ impl fmt::Display for LegalityError {
                 "{} < {} but descendants {} and {} are not ordered",
                 pair.0, pair.1, descendants.0, descendants.1
             ),
-            LegalityError::IllegalReturnValue { object, step, detail } => write!(
+            LegalityError::IllegalReturnValue {
+                object,
+                step,
+                detail,
+            } => write!(
                 f,
                 "return value of {step} on {object} is not legal: {detail}"
             ),
-            LegalityError::ReplayFailed { object, step, error } => {
+            LegalityError::ReplayFailed {
+                object,
+                step,
+                error,
+            } => {
                 write!(f, "replay of {object} failed at {step}: {error}")
             }
-            LegalityError::AbortedExecutionHasEffect { object } => write!(
-                f,
-                "aborted executions affected the final state of {object}"
-            ),
+            LegalityError::AbortedExecutionHasEffect { object } => {
+                write!(f, "aborted executions affected the final state of {object}")
+            }
             LegalityError::AbortNotPropagated { parent, child } => write!(
                 f,
                 "execution {parent} aborted but its child {child} did not"

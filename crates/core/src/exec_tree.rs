@@ -8,10 +8,9 @@
 //! here on top of that forest.
 
 use crate::ids::{ExecId, ObjectId, StepId};
-use serde::{Deserialize, Serialize};
 
 /// One method execution (transaction) of a history.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MethodExecution {
     /// The execution's identity.
     pub id: ExecId,

@@ -151,7 +151,8 @@ impl<N: Copy + Ord> DiGraph<N> {
             Grey,
             Black,
         }
-        let mut colour: BTreeMap<N, Colour> = self.adj.keys().map(|&n| (n, Colour::White)).collect();
+        let mut colour: BTreeMap<N, Colour> =
+            self.adj.keys().map(|&n| (n, Colour::White)).collect();
         let mut stack: Vec<N> = Vec::new();
 
         fn dfs<N: Copy + Ord>(

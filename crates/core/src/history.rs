@@ -29,13 +29,12 @@ use crate::ids::{ExecId, ObjectId, StepId};
 use crate::object::ObjectBase;
 use crate::step::{StepKind, StepRecord};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The span of (virtual) time occupied by a step: the step is initiated at
 /// `start` and completed at `end` (`start <= end`).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Interval {
     /// Initiation time.
     pub start: u64,
@@ -106,7 +105,10 @@ impl History {
         }
         for (i, s) in steps.iter().enumerate() {
             assert_eq!(s.id.index(), i, "step ids must be dense");
-            assert!(s.exec.index() < execs.len(), "step {i} references missing exec");
+            assert!(
+                s.exec.index() < execs.len(),
+                "step {i} references missing exec"
+            );
         }
         let mut children: Vec<Vec<ExecId>> = vec![Vec::new(); execs.len()];
         for e in &execs {
@@ -254,12 +256,9 @@ impl History {
     pub fn lca(&self, a: ExecId, b: ExecId) -> Option<ExecId> {
         let anc_a: Vec<ExecId> = self.ancestors_of(a);
         let set: std::collections::HashSet<ExecId> = anc_a.iter().copied().collect();
-        for anc in self.ancestors_of(b) {
-            if set.contains(&anc) {
-                return Some(anc);
-            }
-        }
-        None
+        self.ancestors_of(b)
+            .into_iter()
+            .find(|anc| set.contains(anc))
     }
 
     /// The least common ancestor of a set of executions, if one exists.
@@ -446,7 +445,7 @@ impl History {
     /// The main use is `committed_projection`-style filtering of aborted
     /// executions before serialisability analysis.
     pub fn project(&self, mut keep: impl FnMut(&MethodExecution) -> bool) -> History {
-        let keep_flags: Vec<bool> = self.execs.iter().map(|e| keep(e)).collect();
+        let keep_flags: Vec<bool> = self.execs.iter().map(&mut keep).collect();
         // An execution can only be kept if all its ancestors are kept.
         let mut kept = vec![false; self.execs.len()];
         for e in &self.execs {
@@ -493,11 +492,7 @@ impl History {
         for e in &mut new_execs {
             e.parent = e.parent.and_then(|p| exec_map[p.index()]);
             e.parent_step = e.parent_step.and_then(|s| step_map[s.index()]);
-            e.steps = e
-                .steps
-                .iter()
-                .filter_map(|s| step_map[s.index()])
-                .collect();
+            e.steps = e.steps.iter().filter_map(|s| step_map[s.index()]).collect();
             e.program_order = e
                 .program_order
                 .iter()

@@ -5,14 +5,13 @@
 //! Each gets a small copyable identifier so that histories can be stored as
 //! flat vectors indexed by id.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies an object in an [`ObjectBase`](crate::object::ObjectBase).
 ///
 /// The distinguished *environment* object (Definition 1 of the paper), whose
 /// methods are the users' top-level transactions, is [`ObjectId::ENVIRONMENT`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {
@@ -52,7 +51,7 @@ impl fmt::Display for ObjectId {
 /// Identifies a method execution (a transaction in the broad sense of the
 /// paper: user transactions and nested method executions are the same kind of
 /// entity).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExecId(pub u32);
 
 impl ExecId {
@@ -76,7 +75,7 @@ impl fmt::Display for ExecId {
 }
 
 /// Identifies a step (local or message) within a history.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StepId(pub u32);
 
 impl StepId {

@@ -80,7 +80,11 @@ pub fn check_structure(h: &History) -> Result<(), LegalityError> {
         for &s in &e.steps {
             if h.step(s).exec != e.id {
                 return Err(LegalityError::DanglingReference {
-                    detail: format!("step {s} listed under {} but recorded for {}", e.id, h.step(s).exec),
+                    detail: format!(
+                        "step {s} listed under {} but recorded for {}",
+                        e.id,
+                        h.step(s).exec
+                    ),
                 });
             }
         }
@@ -198,11 +202,7 @@ pub fn check_condition3(h: &History) -> Result<(), LegalityError> {
 pub fn executions_violating_program_order(h: &History) -> Vec<ExecId> {
     h.execs()
         .iter()
-        .filter(|e| {
-            e.program_order
-                .iter()
-                .any(|&(a, b)| !h.precedes(a, b))
-        })
+        .filter(|e| e.program_order.iter().any(|&(a, b)| !h.precedes(a, b)))
         .map(|e| e.id)
         .collect()
 }

@@ -13,11 +13,10 @@
 //! discussed in Section 5.1 of the paper (the queue Enqueue/Dequeue example).
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, parameterised local operation (the `a` of a step `(a, v)`).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Operation {
     /// Operation name, e.g. `"Deposit"`, `"Enqueue"`, `"Read"`.
     pub name: String,
@@ -96,7 +95,7 @@ impl fmt::Display for Operation {
 }
 
 /// A local step `(a, v)`: the execution of operation `a` that returned `v`.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct LocalStep {
     /// The operation that was executed.
     pub op: Operation,
@@ -107,7 +106,10 @@ pub struct LocalStep {
 impl LocalStep {
     /// Creates a local step from an operation and its return value.
     pub fn new(op: Operation, ret: impl Into<Value>) -> Self {
-        LocalStep { op, ret: ret.into() }
+        LocalStep {
+            op,
+            ret: ret.into(),
+        }
     }
 
     /// Returns `true` if this step is an abort step.

@@ -27,13 +27,13 @@ pub fn replay_order(h: &History, o: ObjectId, order: &[StepId]) -> Result<Value,
         if local.is_abort() {
             continue;
         }
-        let (next, ret) = ty
-            .apply(&state, &local.op)
-            .map_err(|error| LegalityError::ReplayFailed {
-                object: o,
-                step: sid,
-                error,
-            })?;
+        let (next, ret) =
+            ty.apply(&state, &local.op)
+                .map_err(|error| LegalityError::ReplayFailed {
+                    object: o,
+                    step: sid,
+                    error,
+                })?;
         if ret != local.ret {
             return Err(LegalityError::IllegalReturnValue {
                 object: o,

@@ -14,7 +14,7 @@ use crate::ids::{ExecId, ObjectId};
 use crate::object::TypeHandle;
 use crate::op::{LocalStep, Operation};
 
-/// Why a scheduler aborted a method execution.
+/// Why a scheduler (or the engine) aborted a method execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AbortReason {
     /// The execution was chosen as a deadlock victim.
@@ -25,6 +25,12 @@ pub enum AbortReason {
     Certification,
     /// The workload itself requested an abort (e.g. insufficient funds).
     Application,
+    /// The transaction observed state that a later abort physically undid
+    /// (a dirty read), so it was cascade-aborted by the engine.
+    CascadingDirtyRead,
+    /// The scheduler was consulted about an execution it never saw begin —
+    /// an internal bookkeeping invariant was violated.
+    NeverBegan,
     /// Any other scheduler-specific reason.
     Other(String),
 }
@@ -36,10 +42,14 @@ impl std::fmt::Display for AbortReason {
             AbortReason::TimestampOrder => write!(f, "timestamp order violation"),
             AbortReason::Certification => write!(f, "certification failure"),
             AbortReason::Application => write!(f, "application abort"),
+            AbortReason::CascadingDirtyRead => write!(f, "cascading dirty read"),
+            AbortReason::NeverBegan => write!(f, "execution never began"),
             AbortReason::Other(s) => write!(f, "{s}"),
         }
     }
 }
+
+impl std::error::Error for AbortReason {}
 
 /// A scheduler's decision about a requested action.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -256,7 +266,10 @@ mod tests {
         let v = StubView;
         assert!(v.is_ancestor(ExecId(0), ExecId(3)));
         assert!(!v.is_ancestor(ExecId(3), ExecId(0)));
-        assert_eq!(v.ancestors(ExecId(2)), vec![ExecId(2), ExecId(1), ExecId(0)]);
+        assert_eq!(
+            v.ancestors(ExecId(2)),
+            vec![ExecId(2), ExecId(1), ExecId(0)]
+        );
         assert_eq!(v.top_level_of(ExecId(2)), ExecId(0));
     }
 
@@ -281,9 +294,7 @@ mod tests {
         assert!(s
             .request_local(ExecId(0), ObjectId(0), &Operation::nullary("Read"), &v)
             .is_grant());
-        assert!(s
-            .request_invoke(ExecId(0), ObjectId(0), "m", &v)
-            .is_grant());
+        assert!(s.request_invoke(ExecId(0), ObjectId(0), "m", &v).is_grant());
         assert!(s
             .validate_step(
                 ExecId(0),
@@ -298,9 +309,17 @@ mod tests {
     #[test]
     fn abort_reason_display() {
         assert_eq!(AbortReason::Deadlock.to_string(), "deadlock");
+        assert_eq!(AbortReason::NeverBegan.to_string(), "execution never began");
         assert_eq!(
-            AbortReason::Other("custom".into()).to_string(),
-            "custom"
+            AbortReason::CascadingDirtyRead.to_string(),
+            "cascading dirty read"
         );
+        assert_eq!(AbortReason::Other("custom".into()).to_string(), "custom");
+    }
+
+    #[test]
+    fn abort_reason_is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(AbortReason::Certification);
+        assert_eq!(e.to_string(), "certification failure");
     }
 }

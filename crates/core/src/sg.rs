@@ -72,7 +72,8 @@ impl SerialisationGraph {
                     if t == t2 || !f.program_precedes(t, t2) {
                         continue;
                     }
-                    let (Some(c1), Some(c2)) = (h.step(t).message_child(), h.step(t2).message_child())
+                    let (Some(c1), Some(c2)) =
+                        (h.step(t).message_child(), h.step(t2).message_child())
                     else {
                         continue;
                     };

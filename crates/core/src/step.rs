@@ -10,11 +10,10 @@
 use crate::ids::{ExecId, ObjectId, StepId};
 use crate::op::{LocalStep, Operation};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The payload of a step.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StepKind {
     /// A local step `(a, v)` on the variables of the issuing execution's
     /// object.
@@ -37,7 +36,7 @@ pub enum StepKind {
 
 /// One step of a history, tagged with its identity and the method execution
 /// that issued it.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StepRecord {
     /// The step's identity within the history.
     pub id: StepId,

@@ -120,11 +120,10 @@ impl SemanticType for Counter {
         if a.is_abort() || b.is_abort() {
             return false;
         }
-        match (a.name.as_str(), b.name.as_str()) {
-            ("Get", "Get") => false,
-            ("Add", "Add") => false,
-            _ => true,
-        }
+        !matches!(
+            (a.name.as_str(), b.name.as_str()),
+            ("Get", "Get") | ("Add", "Add")
+        )
     }
 
     fn steps_conflict(&self, a: &LocalStep, b: &LocalStep) -> bool {
@@ -155,15 +154,17 @@ mod tests {
     #[test]
     fn register_semantics() {
         let r = IntRegister;
-        let (s, v) = r.apply(&Value::Int(3), &Operation::nullary("Read")).unwrap();
+        let (s, v) = r
+            .apply(&Value::Int(3), &Operation::nullary("Read"))
+            .unwrap();
         assert_eq!(s, Value::Int(3));
         assert_eq!(v, Value::Int(3));
-        let (s, v) = r.apply(&Value::Int(3), &Operation::unary("Write", 9)).unwrap();
+        let (s, v) = r
+            .apply(&Value::Int(3), &Operation::unary("Write", 9))
+            .unwrap();
         assert_eq!(s, Value::Int(9));
         assert_eq!(v, Value::Unit);
-        assert!(r
-            .apply(&Value::Int(0), &Operation::nullary("Pop"))
-            .is_err());
+        assert!(r.apply(&Value::Int(0), &Operation::nullary("Pop")).is_err());
         assert!(r.apply(&Value::Unit, &Operation::nullary("Read")).is_err());
     }
 
@@ -181,7 +182,9 @@ mod tests {
     #[test]
     fn counter_semantics() {
         let c = Counter;
-        let (s, _) = c.apply(&Value::Int(1), &Operation::unary("Add", 4)).unwrap();
+        let (s, _) = c
+            .apply(&Value::Int(1), &Operation::unary("Add", 4))
+            .unwrap();
         assert_eq!(s, Value::Int(5));
         let (_, v) = c.apply(&Value::Int(5), &Operation::nullary("Get")).unwrap();
         assert_eq!(v, Value::Int(5));

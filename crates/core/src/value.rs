@@ -8,7 +8,6 @@
 //! one object base and one history.
 
 use crate::ids::ObjectId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -16,9 +15,10 @@ use std::fmt;
 ///
 /// `Value` doubles as the representation of object *states* (Definition 1),
 /// operation *arguments* and operation *return values* (Definition 2).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Value {
     /// The unit value, used for operations that return nothing of interest.
+    #[default]
     Unit,
     /// A boolean.
     Bool(bool),
@@ -114,12 +114,6 @@ impl Value {
     /// Convenience accessor for an integer field of a map value.
     pub fn get_int(&self, key: &str) -> Option<i64> {
         self.get(key).and_then(Value::as_int)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
     }
 }
 

@@ -29,17 +29,19 @@ use obase_core::history::History;
 use obase_core::ids::{ExecId, ObjectId, StepId};
 use obase_core::object::{ObjectBase, TypeHandle};
 use obase_core::op::{LocalStep, Operation};
-use obase_core::sched::{Decision, Scheduler, TxnView};
+use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
 use obase_core::value::Value;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use obase_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-/// Engine configuration.
+/// Low-level engine parameters.
+///
+/// Most callers should configure runs through `obase_runtime::Runtime`,
+/// which validates these values and returns typed errors; `ExecParams` is
+/// the raw knob set the engine itself consumes.
 #[derive(Clone, Debug)]
-pub struct EngineConfig {
+pub struct ExecParams {
     /// Seed for the interleaving RNG (runs are reproducible given a seed).
     pub seed: u64,
     /// How many times an aborted top-level transaction is re-submitted.
@@ -50,9 +52,9 @@ pub struct EngineConfig {
     pub clients: usize,
 }
 
-impl Default for EngineConfig {
+impl Default for ExecParams {
     fn default() -> Self {
-        EngineConfig {
+        ExecParams {
             seed: 42,
             max_retries: 16,
             max_rounds: 200_000,
@@ -143,7 +145,7 @@ impl TxnView for EngineView<'_> {
 struct EngineState {
     def: crate::program::ObjectBaseDef,
     specs: Vec<crate::program::TxnSpec>,
-    config: EngineConfig,
+    config: ExecParams,
     builder: HistoryBuilder,
     store: ObjectStore,
     exec_meta: Vec<ExecMeta>,
@@ -155,13 +157,16 @@ struct EngineState {
 }
 
 impl EngineState {
-    fn new(workload: &WorkloadSpec, config: &EngineConfig) -> Self {
+    fn new(workload: &WorkloadSpec, config: &ExecParams) -> Self {
         let base = Arc::clone(workload.def.base());
         let mut builder = HistoryBuilder::new(Arc::clone(&base));
         builder.set_auto_program_order(false);
         let mut queue = VecDeque::new();
         for (i, _) in workload.transactions.iter().enumerate() {
-            queue.push_back(Pending { spec: i, attempt: 0 });
+            queue.push_back(Pending {
+                spec: i,
+                attempt: 0,
+            });
         }
         EngineState {
             def: workload.def.clone(),
@@ -332,7 +337,7 @@ impl EngineState {
             }
             Decision::Abort(reason) => {
                 let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                self.abort_top_level(scheduler, top, reason, false);
                 return;
             }
             Decision::Grant => {}
@@ -352,7 +357,7 @@ impl EngineState {
             }
             Decision::Abort(reason) => {
                 let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                self.abort_top_level(scheduler, top, reason, false);
                 return;
             }
             Decision::Grant => {}
@@ -397,7 +402,7 @@ impl EngineState {
             }
             Decision::Abort(reason) => {
                 let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                self.abort_top_level(scheduler, top, reason, false);
                 return;
             }
             Decision::Grant => {}
@@ -467,7 +472,7 @@ impl EngineState {
         match scheduler.certify_commit(exec, &self.view()) {
             Decision::Abort(reason) => {
                 let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, &reason.to_string(), false);
+                self.abort_top_level(scheduler, top, reason, false);
                 return;
             }
             Decision::Block { .. } | Decision::Grant => {}
@@ -507,10 +512,10 @@ impl EngineState {
         &mut self,
         scheduler: &mut dyn Scheduler,
         top: ExecId,
-        reason: &str,
+        reason: AbortReason,
         cascade: bool,
     ) {
-        let mut worklist: Vec<(ExecId, String, bool)> = vec![(top, reason.to_owned(), cascade)];
+        let mut worklist: Vec<(ExecId, AbortReason, bool)> = vec![(top, reason, cascade)];
         let mut aborted_accum: BTreeSet<ExecId> = BTreeSet::new();
         while let Some((t, r, casc)) = worklist.pop() {
             if self.exec_meta[t.index()].aborted {
@@ -538,7 +543,7 @@ impl EngineState {
                 }
             }
             aborted_accum.extend(subtree_set.iter().copied());
-            self.metrics.record_abort(&r);
+            self.metrics.record_abort(&r.to_string());
             if casc {
                 self.metrics.cascading_aborts += 1;
             }
@@ -565,7 +570,7 @@ impl EngineState {
             for e in invalidated {
                 let it = self.top_of(e);
                 if !self.exec_meta[it.index()].aborted {
-                    worklist.push((it, "cascading dirty read".to_owned(), true));
+                    worklist.push((it, AbortReason::CascadingDirtyRead, true));
                 }
             }
         }
@@ -605,9 +610,33 @@ impl EngineState {
     }
 }
 
+/// The engine's configuration struct under its pre-0.2 name.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExecParams`, or configure runs through `obase_runtime::Runtime`"
+)]
+pub type EngineConfig = ExecParams;
+
+/// Runs a workload under a scheduler (pre-0.2 entry point).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `execute`, or run workloads through `obase_runtime::Runtime`"
+)]
+pub fn run(
+    workload: &WorkloadSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &ExecParams,
+) -> RunResult {
+    execute(workload, scheduler, config)
+}
+
 /// Runs a workload under a scheduler and returns the recorded history and
 /// metrics.
-pub fn run(workload: &WorkloadSpec, scheduler: &mut dyn Scheduler, config: &EngineConfig) -> RunResult {
+pub fn execute(
+    workload: &WorkloadSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &ExecParams,
+) -> RunResult {
     let mut st = EngineState::new(workload, config);
     st.metrics.scheduler = scheduler.name();
     st.metrics.submitted = workload.transactions.len();
@@ -629,7 +658,7 @@ pub fn run(workload: &WorkloadSpec, scheduler: &mut dyn Scheduler, config: &Engi
         }
         if let Some(victim) = st.detect_deadlock() {
             st.metrics.deadlocks += 1;
-            st.abort_top_level(scheduler, victim, "deadlock", false);
+            st.abort_top_level(scheduler, victim, AbortReason::Deadlock, false);
         }
     }
     if !st.settled() {
@@ -689,7 +718,7 @@ mod tests {
     fn commits_everything_and_records_a_legal_history() {
         let wl = counter_workload(6);
         let mut sched = N2plScheduler::operation_locks();
-        let result = run(&wl, &mut sched, &EngineConfig::default());
+        let result = execute(&wl, &mut sched, &ExecParams::default());
         assert_eq!(result.metrics.committed, 6);
         assert_eq!(result.metrics.gave_up, 0);
         assert!(!result.metrics.timed_out);
@@ -708,7 +737,7 @@ mod tests {
         // produces a serialisable history.
         let wl = counter_workload(4);
         let mut sched = NullScheduler;
-        let result = run(&wl, &mut sched, &EngineConfig::default());
+        let result = execute(&wl, &mut sched, &ExecParams::default());
         assert_eq!(result.metrics.committed, 4);
         assert!(obase_core::sg::certifies_serialisable(&result.history));
     }
@@ -716,12 +745,12 @@ mod tests {
     #[test]
     fn run_is_deterministic_for_a_seed() {
         let wl = counter_workload(5);
-        let cfg = EngineConfig {
+        let cfg = ExecParams {
             seed: 7,
             ..Default::default()
         };
-        let a = run(&wl, &mut N2plScheduler::operation_locks(), &cfg);
-        let b = run(&wl, &mut N2plScheduler::operation_locks(), &cfg);
+        let a = execute(&wl, &mut N2plScheduler::operation_locks(), &cfg);
+        let b = execute(&wl, &mut N2plScheduler::operation_locks(), &cfg);
         assert_eq!(a.metrics.rounds, b.metrics.rounds);
         assert_eq!(a.metrics.blocked_events, b.metrics.blocked_events);
         assert_eq!(a.history.step_count(), b.history.step_count());
@@ -767,7 +796,7 @@ mod tests {
         ];
         let wl = WorkloadSpec { def, transactions };
         let mut sched = N2plScheduler::operation_locks();
-        let result = run(&wl, &mut sched, &EngineConfig::default());
+        let result = execute(&wl, &mut sched, &ExecParams::default());
         assert_eq!(result.metrics.committed, 2);
         assert!(result.metrics.deadlocks >= 1);
         assert!(result.metrics.retries >= 1);
@@ -801,7 +830,11 @@ mod tests {
             ]),
         }];
         let wl = WorkloadSpec { def, transactions };
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &EngineConfig::default());
+        let result = execute(
+            &wl,
+            &mut N2plScheduler::operation_locks(),
+            &ExecParams::default(),
+        );
         assert_eq!(result.metrics.committed, 1);
         assert_eq!(result.metrics.installed_steps, 2);
         assert!(obase_core::legality::is_legal(&result.history));

@@ -13,6 +13,39 @@
 //! projection is returned as a legal [`History`](obase_core::history::History)
 //! so the serialisation-graph machinery can verify, after the fact, that the
 //! scheduler admitted only serialisable executions.
+//!
+//! ## Quickstart
+//!
+//! Most callers should not drive the engine directly: the `obase-runtime`
+//! crate wraps it in a validated, declarative facade. A scheduler is chosen
+//! as data, the runtime owns the engine loop, and the report carries the
+//! history, metrics and theory checks:
+//!
+//! ```
+//! use obase_runtime::{Runtime, SchedulerSpec, Verify};
+//!
+//! let workload = obase_workload::queues(&obase_workload::QueueParams {
+//!     queues: 1,
+//!     producers: 4,
+//!     consumers: 4,
+//!     preload: 4,
+//!     seed: 17,
+//! });
+//! let report = Runtime::builder()
+//!     .scheduler(SchedulerSpec::n2pl_step())
+//!     .clients(4)
+//!     .seed(17)
+//!     .verify(Verify::Full)
+//!     .build()?
+//!     .run(&workload)?;
+//! assert_eq!(report.metrics.committed, 8);
+//! report.assert_serialisable();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The raw entry point ([`engine::execute`]) remains available for embedders
+//! that need to drive a [`Scheduler`](obase_core::sched::Scheduler) manually;
+//! the pre-0.2 `run`/`EngineConfig` names are deprecated shims over it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +56,9 @@ pub mod mixed;
 pub mod program;
 pub mod store;
 
-pub use engine::{run, EngineConfig, RunResult};
+pub use engine::{execute, ExecParams, RunResult};
+#[allow(deprecated)]
+pub use engine::{run, EngineConfig};
 pub use metrics::RunMetrics;
 pub use mixed::MixedScheduler;
 pub use program::{Expr, MethodDef, ObjRef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};

@@ -1,10 +1,10 @@
 //! Run metrics: what the experiments measure.
 
-use serde::Serialize;
+use obase_ser::Json;
 use std::collections::BTreeMap;
 
 /// Counters collected during an engine run.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Name of the scheduler that produced the run.
     pub scheduler: String,
@@ -68,6 +68,35 @@ impl RunMetrics {
     pub fn record_abort(&mut self, reason: &str) {
         self.aborts += 1;
         *self.aborts_by_reason.entry(reason.to_owned()).or_default() += 1;
+    }
+
+    /// Renders the metrics as a JSON object (used by run reports).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("scheduler", Json::str(&self.scheduler)),
+            ("submitted", Json::Int(self.submitted as i64)),
+            ("committed", Json::Int(self.committed as i64)),
+            ("aborts", Json::Int(self.aborts as i64)),
+            (
+                "aborts_by_reason",
+                Json::Object(
+                    self.aborts_by_reason
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            ("cascading_aborts", Json::Int(self.cascading_aborts as i64)),
+            ("deadlocks", Json::Int(self.deadlocks as i64)),
+            ("retries", Json::Int(self.retries as i64)),
+            ("gave_up", Json::Int(self.gave_up as i64)),
+            ("blocked_events", Json::Int(self.blocked_events as i64)),
+            ("installed_steps", Json::Int(self.installed_steps as i64)),
+            ("wasted_steps", Json::Int(self.wasted_steps as i64)),
+            ("rounds", Json::Int(self.rounds as i64)),
+            ("timed_out", Json::Bool(self.timed_out)),
+            ("throughput", Json::Float(self.throughput())),
+        ])
     }
 }
 

@@ -183,8 +183,7 @@ mod tests {
     #[test]
     fn naming_reflects_composition() {
         assert_eq!(MixedScheduler::new().name(), "mixed(occ-only)");
-        let s = MixedScheduler::new()
-            .with_default_intra(Box::new(N2plScheduler::step_locks()));
+        let s = MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks()));
         assert_eq!(s.name(), "mixed");
     }
 
@@ -214,10 +213,16 @@ mod tests {
         let mut s = MixedScheduler::new()
             .with_intra(ObjectId(0), Box::new(N2plScheduler::operation_locks()));
         let w = Operation::unary("Write", 1);
-        assert!(s.request_local(ExecId(0), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(0), ObjectId(0), &w, &view)
+            .is_grant());
         // A second transaction is blocked by object 0's locking policy...
-        assert!(s.request_local(ExecId(1), ObjectId(0), &w, &view).is_block());
+        assert!(s
+            .request_local(ExecId(1), ObjectId(0), &w, &view)
+            .is_block());
         // ...but object 1 has no intra policy, so it is wide open.
-        assert!(s.request_local(ExecId(1), ObjectId(1), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(1), ObjectId(1), &w, &view)
+            .is_grant());
     }
 }

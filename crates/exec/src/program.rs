@@ -188,6 +188,11 @@ impl ObjectBaseDef {
     pub fn method_count(&self) -> usize {
         self.methods.len()
     }
+
+    /// Iterates over every `(object, method definition)` pair.
+    pub fn methods(&self) -> impl Iterator<Item = (ObjectId, &MethodDef)> + '_ {
+        self.methods.iter().map(|((o, _), d)| (*o, d.as_ref()))
+    }
 }
 
 /// A top-level transaction submitted by a user: a program executed as a

@@ -68,8 +68,18 @@ impl ObjectStore {
 
     /// Installs a step: appends it to the object's log and sets the new
     /// state (as previously computed by [`provisional`](Self::provisional)).
-    pub fn install(&mut self, o: ObjectId, exec: ExecId, op: Operation, ret: Value, new_state: Value) {
-        self.logs.entry(o).or_default().push(LogEntry { exec, op, ret });
+    pub fn install(
+        &mut self,
+        o: ObjectId,
+        exec: ExecId,
+        op: Operation,
+        ret: Value,
+        new_state: Value,
+    ) {
+        self.logs
+            .entry(o)
+            .or_default()
+            .push(LogEntry { exec, op, ret });
         self.states.insert(o, new_state);
     }
 

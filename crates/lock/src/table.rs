@@ -208,10 +208,11 @@ mod tests {
         let add2 = LockKey::Op(Operation::unary("Add", 5));
         let get = LockKey::Op(Operation::nullary("Get"));
         table.grant(o, ExecId(1), add.clone());
-        assert!(table
-            .blockers(o, &add2, ExecId(2), &ty, &view)
-            .is_empty());
-        assert_eq!(table.blockers(o, &get, ExecId(2), &ty, &view), vec![ExecId(1)]);
+        assert!(table.blockers(o, &add2, ExecId(2), &ty, &view).is_empty());
+        assert_eq!(
+            table.blockers(o, &get, ExecId(2), &ty, &view),
+            vec![ExecId(1)]
+        );
         // The owner itself and its descendants are never blocked.
         assert!(table.blockers(o, &get, ExecId(1), &ty, &view).is_empty());
         assert!(table.blockers(o, &get, ExecId(11), &ty, &view).is_empty());

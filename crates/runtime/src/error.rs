@@ -1,0 +1,193 @@
+//! Typed errors for the runtime facade.
+//!
+//! The pre-0.2 API panicked on malformed configuration ("malformed workload",
+//! missing methods, zero clients silently looping forever). The runtime
+//! validates instead and reports one of the error types here, all of which
+//! implement [`std::error::Error`].
+
+use obase_core::error::LegalityError;
+use obase_core::ids::{ExecId, ObjectId};
+use std::fmt;
+
+/// A problem with the runtime configuration, detected at build time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No scheduler spec was supplied to the builder.
+    MissingScheduler,
+    /// `clients` was zero: no transaction could ever start.
+    ZeroClients,
+    /// `max_rounds` was zero: the engine could never take a step.
+    ZeroMaxRounds,
+    /// A `Mixed` spec with neither a default intra-object policy nor any
+    /// per-object policy. Use [`SchedulerSpec::SgtCertifier`] for pure
+    /// commit-time certification.
+    ///
+    /// [`SchedulerSpec::SgtCertifier`]: crate::SchedulerSpec::SgtCertifier
+    EmptyMixedSpec,
+    /// A `Mixed` spec nested inside another `Mixed` spec: intra-object
+    /// policies must be plain schedulers.
+    NestedMixedSpec,
+    /// The same object was given two intra-object policies in one `Mixed`
+    /// spec.
+    DuplicateMixedObject(ObjectId),
+    /// The registry has no factory for a spec kind.
+    UnknownKind(String),
+    /// A serialised spec did not parse or had the wrong shape.
+    BadSpec(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingScheduler => {
+                write!(f, "no scheduler spec was supplied to the builder")
+            }
+            ConfigError::ZeroClients => write!(f, "clients must be at least 1"),
+            ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be at least 1"),
+            ConfigError::EmptyMixedSpec => write!(
+                f,
+                "mixed spec has no intra-object policies; use SgtCertifier for \
+                 pure commit-time certification"
+            ),
+            ConfigError::NestedMixedSpec => {
+                write!(f, "mixed specs cannot nest inside other mixed specs")
+            }
+            ConfigError::DuplicateMixedObject(o) => {
+                write!(
+                    f,
+                    "object {o} has two intra-object policies in one mixed spec"
+                )
+            }
+            ConfigError::UnknownKind(kind) => {
+                write!(f, "no scheduler factory registered for kind {kind:?}")
+            }
+            ConfigError::BadSpec(detail) => write!(f, "malformed scheduler spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A problem detected while preparing or executing a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// A transaction (or a method body) invokes a method the target object
+    /// does not define.
+    UnknownMethod {
+        /// The target object.
+        object: ObjectId,
+        /// The missing method.
+        method: String,
+    },
+    /// A method was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// The target object.
+        object: ObjectId,
+        /// The invoked method.
+        method: String,
+        /// Parameters the method declares.
+        expected: usize,
+        /// Arguments the invocation supplies.
+        got: usize,
+    },
+    /// A top-level transaction contains a local operation (the environment
+    /// has no variables, Definition 1).
+    LocalOperationAtTopLevel {
+        /// The offending transaction's label.
+        transaction: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Config(e) => write!(f, "configuration error: {e}"),
+            RuntimeError::UnknownMethod { object, method } => {
+                write!(f, "object {object} defines no method {method:?}")
+            }
+            RuntimeError::ArityMismatch {
+                object,
+                method,
+                expected,
+                got,
+            } => write!(
+                f,
+                "method {method:?} of {object} takes {expected} parameter(s) but \
+                 was invoked with {got}"
+            ),
+            RuntimeError::LocalOperationAtTopLevel { transaction } => write!(
+                f,
+                "transaction {transaction:?} issues a local operation at top \
+                 level, but the environment has no variables"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
+    }
+}
+
+/// A violation of the paper's theory detected when verifying a run report:
+/// the committed history failed legality, Theorem 2 or Theorem 5, or the run
+/// never settled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryViolation {
+    /// The run hit its round limit before all transactions settled, so the
+    /// recorded history is a prefix and the checks are not meaningful.
+    TimedOut,
+    /// The committed history is not legal (Definition 6).
+    NotLegal(LegalityError),
+    /// The serialisation graph has a cycle (Theorem 2 refutes
+    /// serialisability via this certificate).
+    CyclicSerialisationGraph {
+        /// A witness cycle of top-level transactions.
+        cycle: Vec<ExecId>,
+    },
+    /// The Theorem 5 per-object condition fails.
+    Theorem5Violated {
+        /// Objects whose combined local graph is cyclic.
+        objects: Vec<ObjectId>,
+        /// Executions whose intra-method message order is cyclic.
+        executions: Vec<ExecId>,
+    },
+}
+
+impl fmt::Display for TheoryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoryViolation::TimedOut => {
+                write!(f, "the run hit its round limit before settling")
+            }
+            TheoryViolation::NotLegal(e) => {
+                write!(f, "committed history is not legal: {e}")
+            }
+            TheoryViolation::CyclicSerialisationGraph { cycle } => {
+                write!(f, "serialisation graph has a cycle: {cycle:?}")
+            }
+            TheoryViolation::Theorem5Violated {
+                objects,
+                executions,
+            } => write!(
+                f,
+                "Theorem 5 condition violated (cyclic objects: {objects:?}, \
+                 cyclic executions: {executions:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TheoryViolation {}

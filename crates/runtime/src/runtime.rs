@@ -1,0 +1,403 @@
+//! The fluent run builder and the runtime that owns the engine loop.
+//!
+//! ```
+//! use obase_runtime::{Runtime, SchedulerSpec, Verify};
+//! # use obase_adt::Counter;
+//! # use obase_core::object::ObjectBase;
+//! # use obase_core::value::Value;
+//! # use obase_exec::{MethodDef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};
+//! # use std::sync::Arc;
+//! # let mut base = ObjectBase::new();
+//! # let c = base.add_object("c", Arc::new(Counter::default()));
+//! # let mut def = ObjectBaseDef::new(Arc::new(base));
+//! # def.define_method(c, MethodDef { name: "bump".into(), params: 0,
+//! #     body: Program::local("Add", [Value::Int(1)]) });
+//! # let workload = WorkloadSpec { def, transactions: vec![TxnSpec {
+//! #     name: "t".into(), body: Program::invoke(c, "bump", []) }] };
+//! let runtime = Runtime::builder()
+//!     .scheduler(SchedulerSpec::n2pl_step())
+//!     .clients(8)
+//!     .seed(7)
+//!     .retries(16)
+//!     .verify(Verify::Full)
+//!     .build()?;
+//! let report = runtime.run(&workload)?;
+//! report.assert_serialisable();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::error::{ConfigError, RuntimeError};
+use crate::registry::SchedulerRegistry;
+use crate::report::{Faceoff, RunReport};
+use crate::spec::SchedulerSpec;
+use obase_core::ids::ObjectId;
+use obase_exec::engine::{execute, ExecParams};
+use obase_exec::{ObjRef, Program, WorkloadSpec};
+
+/// How much post-hoc theory checking a [`RunReport`] performs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Verify {
+    /// Record no checks (fastest; `assert_serialisable` still recomputes on
+    /// demand).
+    None,
+    /// Legality plus Theorem 2 acyclicity.
+    #[default]
+    Quick,
+    /// Legality, Theorem 2 with a verified equivalent-serial-history witness,
+    /// and the Theorem 5 per-object condition.
+    Full,
+}
+
+/// A configured runtime: a scheduler spec, engine parameters and a
+/// verification level, ready to execute workloads.
+///
+/// Build one with [`Runtime::builder`]. A `Runtime` is reusable: every call
+/// to [`run`](Runtime::run) instantiates a fresh scheduler from the spec, so
+/// runs never share scheduler state.
+#[derive(Debug)]
+pub struct Runtime {
+    spec: SchedulerSpec,
+    registry: SchedulerRegistry,
+    params: ExecParams,
+    verify: Verify,
+}
+
+impl Runtime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// The scheduler spec runs execute under.
+    pub fn spec(&self) -> &SchedulerSpec {
+        &self.spec
+    }
+
+    /// The configured verification level.
+    pub fn verify_level(&self) -> Verify {
+        self.verify
+    }
+
+    /// Executes a workload and returns its verified report.
+    ///
+    /// The workload is validated first (methods exist, arities match,
+    /// top-level transactions issue no local operations) so malformed
+    /// workloads surface as typed errors instead of mid-run panics.
+    pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
+        validate_workload(workload)?;
+        let mut scheduler = self.registry.instantiate(&self.spec)?;
+        let result = execute(workload, scheduler.as_mut(), &self.params);
+        Ok(RunReport::new(self.spec.clone(), result, self.verify))
+    }
+
+    /// Runs the same workload under each spec (with this runtime's engine
+    /// parameters and verification level) and lines the reports up.
+    pub fn compare(
+        &self,
+        workload: &WorkloadSpec,
+        specs: &[SchedulerSpec],
+    ) -> Result<Faceoff, RuntimeError> {
+        validate_workload(workload)?;
+        let mut reports = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let mut scheduler = self.registry.instantiate(spec)?;
+            let result = execute(workload, scheduler.as_mut(), &self.params);
+            reports.push(RunReport::new(spec.clone(), result, self.verify));
+        }
+        Ok(Faceoff::new(reports))
+    }
+
+    /// Convenience face-off with default engine parameters and
+    /// [`Verify::Full`]: runs `workload` under every spec and returns the
+    /// comparison.
+    pub fn faceoff(
+        workload: &WorkloadSpec,
+        specs: &[SchedulerSpec],
+    ) -> Result<Faceoff, RuntimeError> {
+        let spec = specs
+            .first()
+            .cloned()
+            .ok_or(ConfigError::MissingScheduler)?;
+        Runtime::builder()
+            .scheduler(spec)
+            .verify(Verify::Full)
+            .build()?
+            .compare(workload, specs)
+    }
+}
+
+/// Fluent builder for [`Runtime`], subsuming the engine's raw parameter
+/// struct with validation.
+#[derive(Debug, Default)]
+pub struct RuntimeBuilder {
+    spec: Option<SchedulerSpec>,
+    registry: SchedulerRegistry,
+    params: ExecParams,
+    verify: Verify,
+}
+
+impl RuntimeBuilder {
+    /// Sets the scheduler spec (required).
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Sets the maximum number of concurrently running top-level
+    /// transactions (default 4).
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.params.clients = clients;
+        self
+    }
+
+    /// Sets the interleaving seed (default 42); runs are reproducible given
+    /// a seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Sets how many times an aborted transaction is re-submitted
+    /// (default 16).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.params.max_retries = retries;
+        self
+    }
+
+    /// Sets the hard bound on scheduling rounds, guarding against livelock
+    /// (default 200 000).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.params.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the verification level reports are built with (default
+    /// [`Verify::Quick`]).
+    pub fn verify(mut self, verify: Verify) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Replaces the scheduler registry (to add custom scheduler kinds).
+    pub fn registry(mut self, registry: SchedulerRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Validates the configuration and builds the runtime.
+    ///
+    /// Fails with a typed [`ConfigError`] if no scheduler was set, `clients`
+    /// or `max_rounds` is zero, the spec itself is inconsistent (e.g. an
+    /// empty or nested `Mixed`), or the registry cannot instantiate it.
+    pub fn build(self) -> Result<Runtime, ConfigError> {
+        let spec = self.spec.ok_or(ConfigError::MissingScheduler)?;
+        if self.params.clients == 0 {
+            return Err(ConfigError::ZeroClients);
+        }
+        if self.params.max_rounds == 0 {
+            return Err(ConfigError::ZeroMaxRounds);
+        }
+        // Dry-run instantiation so bad specs fail at build time, not per run.
+        let _ = self.registry.instantiate(&spec)?;
+        Ok(Runtime {
+            spec,
+            registry: self.registry,
+            params: self.params,
+            verify: self.verify,
+        })
+    }
+}
+
+/// Statically validates a workload against its object-base definition: every
+/// (literally named) invocation targets a defined method with the right
+/// arity, and no top-level transaction issues a local operation. Each method
+/// body is checked exactly once, so mutually recursive methods are fine.
+fn validate_workload(workload: &WorkloadSpec) -> Result<(), RuntimeError> {
+    for txn in &workload.transactions {
+        walk(&txn.body, true, Some(&txn.name), workload)?;
+    }
+    for (_, def) in workload.def.methods() {
+        walk(&def.body, false, None, workload)?;
+    }
+    Ok(())
+}
+
+fn walk(
+    program: &Program,
+    top_level: bool,
+    txn: Option<&str>,
+    workload: &WorkloadSpec,
+) -> Result<(), RuntimeError> {
+    match program {
+        Program::Local { .. } => {
+            if top_level {
+                return Err(RuntimeError::LocalOperationAtTopLevel {
+                    transaction: txn.unwrap_or("<method>").to_owned(),
+                });
+            }
+            Ok(())
+        }
+        Program::Invoke {
+            object,
+            method,
+            args,
+        } => {
+            // Parameter-passed objects can only be resolved dynamically.
+            let ObjRef::Const(target) = object else {
+                return Ok(());
+            };
+            check_invocation(*target, method, args.len(), workload)
+        }
+        Program::Seq(items) | Program::Par(items) => {
+            for item in items {
+                walk(item, top_level, txn, workload)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_invocation(
+    target: ObjectId,
+    method: &str,
+    got: usize,
+    workload: &WorkloadSpec,
+) -> Result<(), RuntimeError> {
+    let Some(def) = workload.def.method(target, method) else {
+        return Err(RuntimeError::UnknownMethod {
+            object: target,
+            method: method.to_owned(),
+        });
+    };
+    if def.params != got {
+        return Err(RuntimeError::ArityMismatch {
+            object: target,
+            method: method.to_owned(),
+            expected: def.params,
+            got,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_adt::Counter;
+    use obase_core::object::ObjectBase;
+    use obase_core::value::Value;
+    use obase_exec::{MethodDef, ObjectBaseDef, TxnSpec};
+    use std::sync::Arc;
+
+    fn tiny_workload() -> WorkloadSpec {
+        let mut base = ObjectBase::new();
+        let c = base.add_object("c", Arc::new(Counter::default()));
+        let mut def = ObjectBaseDef::new(Arc::new(base));
+        def.define_method(
+            c,
+            MethodDef {
+                name: "bump".into(),
+                params: 0,
+                body: Program::local("Add", [Value::Int(1)]),
+            },
+        );
+        WorkloadSpec {
+            def,
+            transactions: vec![TxnSpec {
+                name: "t0".into(),
+                body: Program::invoke(c, "bump", []),
+            }],
+        }
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert_eq!(
+            Runtime::builder().build().unwrap_err(),
+            ConfigError::MissingScheduler
+        );
+        assert_eq!(
+            Runtime::builder()
+                .scheduler(SchedulerSpec::n2pl_operation())
+                .clients(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroClients
+        );
+        assert_eq!(
+            Runtime::builder()
+                .scheduler(SchedulerSpec::n2pl_operation())
+                .max_rounds(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxRounds
+        );
+        assert_eq!(
+            Runtime::builder()
+                .scheduler(SchedulerSpec::Mixed {
+                    default_intra: None,
+                    per_object: vec![],
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptyMixedSpec
+        );
+    }
+
+    #[test]
+    fn run_produces_a_verified_report() {
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .verify(Verify::Full)
+            .build()
+            .unwrap();
+        let report = runtime.run(&tiny_workload()).unwrap();
+        assert_eq!(report.metrics.committed, 1);
+        assert_eq!(report.checks.legal, Some(true));
+        assert_eq!(report.checks.sg_acyclic, Some(true));
+        assert_eq!(report.checks.witness_verified, Some(true));
+        assert_eq!(report.checks.theorem5, Some(true));
+        report.assert_serialisable();
+    }
+
+    #[test]
+    fn malformed_workloads_are_typed_errors_not_panics() {
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .build()
+            .unwrap();
+
+        let mut wl = tiny_workload();
+        wl.transactions[0].body = Program::invoke(ObjectId(0), "missing", []);
+        assert!(matches!(
+            runtime.run(&wl).unwrap_err(),
+            RuntimeError::UnknownMethod { method, .. } if method == "missing"
+        ));
+
+        let mut wl = tiny_workload();
+        wl.transactions[0].body = Program::invoke(ObjectId(0), "bump", [Value::Int(1)]);
+        assert!(matches!(
+            runtime.run(&wl).unwrap_err(),
+            RuntimeError::ArityMismatch {
+                expected: 0,
+                got: 1,
+                ..
+            }
+        ));
+
+        let mut wl = tiny_workload();
+        wl.transactions[0].body = Program::local("Add", [Value::Int(1)]);
+        assert!(matches!(
+            runtime.run(&wl).unwrap_err(),
+            RuntimeError::LocalOperationAtTopLevel { transaction } if transaction == "t0"
+        ));
+    }
+
+    #[test]
+    fn faceoff_requires_at_least_one_spec() {
+        assert!(matches!(
+            Runtime::faceoff(&tiny_workload(), &[]),
+            Err(RuntimeError::Config(ConfigError::MissingScheduler))
+        ));
+    }
+}

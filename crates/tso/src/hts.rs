@@ -7,13 +7,12 @@
 //! counter maintained by the environment so that a transaction that finishes
 //! before another starts has the smaller timestamp.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A hierarchical timestamp: a non-empty sequence of counters, ordered
 /// lexicographically.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct HierTimestamp(Vec<u64>);
 
 impl HierTimestamp {

@@ -137,7 +137,7 @@ impl NtoScheduler {
         view: &dyn TxnView,
     ) -> Decision {
         let Some(my_ts) = self.timestamps.get(&exec).cloned() else {
-            return Decision::Abort(AbortReason::Other("execution never began".into()));
+            return Decision::Abort(AbortReason::NeverBegan);
         };
         let ty = view.type_of(object);
         let retained = self.retained_ops.entry(object).or_default();
@@ -182,7 +182,7 @@ impl NtoScheduler {
         view: &dyn TxnView,
     ) -> Decision {
         let Some(my_ts) = self.timestamps.get(&exec).cloned() else {
-            return Decision::Abort(AbortReason::Other("execution never began".into()));
+            return Decision::Abort(AbortReason::NeverBegan);
         };
         let ty = view.type_of(object);
         if let Some(retained) = self.retained_steps.get(&object) {
@@ -212,7 +212,6 @@ impl NtoScheduler {
         }
         Decision::Grant
     }
-
 }
 
 impl Scheduler for NtoScheduler {
@@ -354,15 +353,21 @@ mod tests {
         begin_all(&mut s, &view);
         let w = Operation::unary("Write", 1);
         // The *younger* (larger-timestamp) execution writes first...
-        assert!(s.request_local(ExecId(11), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(11), ObjectId(0), &w, &view)
+            .is_grant());
         // ... so the older one must abort when it arrives late.
         let d = s.request_local(ExecId(10), ObjectId(0), &w, &view);
         assert_eq!(d, Decision::Abort(AbortReason::TimestampOrder));
         // In timestamp order the same pair is fine.
         let mut s = NtoScheduler::conservative();
         begin_all(&mut s, &view);
-        assert!(s.request_local(ExecId(10), ObjectId(0), &w, &view).is_grant());
-        assert!(s.request_local(ExecId(11), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(10), ObjectId(0), &w, &view)
+            .is_grant());
+        assert!(s
+            .request_local(ExecId(11), ObjectId(0), &w, &view)
+            .is_grant());
     }
 
     #[test]
@@ -371,9 +376,13 @@ mod tests {
         let mut s = NtoScheduler::conservative();
         begin_all(&mut s, &view);
         let add = Operation::unary("Add", 1);
-        assert!(s.request_local(ExecId(11), ObjectId(0), &add, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(11), ObjectId(0), &add, &view)
+            .is_grant());
         // An older Add arrives later, but Adds commute, so no abort.
-        assert!(s.request_local(ExecId(10), ObjectId(0), &add, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(10), ObjectId(0), &add, &view)
+            .is_grant());
         // An older Get, however, conflicts with the younger Add already
         // processed and must abort.
         let d = s.request_local(ExecId(10), ObjectId(0), &Operation::nullary("Get"), &view);
@@ -388,7 +397,9 @@ mod tests {
         begin_all(&mut s, &view);
         // The younger execution enqueues 7 first.
         let enq = LocalStep::new(Operation::unary("Enqueue", 7), ());
-        assert!(s.validate_step(ExecId(11), ObjectId(0), &enq, &view).is_grant());
+        assert!(s
+            .validate_step(ExecId(11), ObjectId(0), &enq, &view)
+            .is_grant());
         // An older dequeue returning a different item does not conflict with
         // that enqueue, so it is admitted despite its smaller timestamp.
         let deq_other = LocalStep::new(Operation::nullary("Dequeue"), Value::Int(3));
@@ -408,10 +419,14 @@ mod tests {
         let mut s = NtoScheduler::conservative();
         begin_all(&mut s, &view);
         let w = Operation::unary("Write", 1);
-        assert!(s.request_local(ExecId(11), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(11), ObjectId(0), &w, &view)
+            .is_grant());
         s.on_abort(ExecId(11), &view);
         // With the younger write forgotten, the older one is admitted.
-        assert!(s.request_local(ExecId(10), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(10), ObjectId(0), &w, &view)
+            .is_grant());
     }
 
     #[test]
@@ -420,7 +435,9 @@ mod tests {
         let mut s = NtoScheduler::provisional();
         begin_all(&mut s, &view);
         let w = LocalStep::new(Operation::unary("Write", 1), ());
-        assert!(s.validate_step(ExecId(10), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .validate_step(ExecId(10), ObjectId(0), &w, &view)
+            .is_grant());
         assert_eq!(s.retained_step_count(), 1);
         let high_watermark = HierTimestamp::top_level(1000);
         s.garbage_collect(&high_watermark);
@@ -435,7 +452,11 @@ mod tests {
         let w = Operation::unary("Write", 1);
         // Child E10 writes, then its ancestor E0 (smaller timestamp) writes:
         // comparable executions, no abort.
-        assert!(s.request_local(ExecId(10), ObjectId(0), &w, &view).is_grant());
-        assert!(s.request_local(ExecId(0), ObjectId(0), &w, &view).is_grant());
+        assert!(s
+            .request_local(ExecId(10), ObjectId(0), &w, &view)
+            .is_grant());
+        assert!(s
+            .request_local(ExecId(0), ObjectId(0), &w, &view)
+            .is_grant());
     }
 }

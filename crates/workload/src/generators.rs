@@ -10,9 +10,7 @@ use obase_core::ids::ObjectId;
 use obase_core::object::ObjectBase;
 use obase_core::value::Value;
 use obase_exec::{Expr, MethodDef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use obase_rng::{ChaCha8Rng, Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the banking workload: transfers and balance checks over a
@@ -283,7 +281,7 @@ pub fn queues(params: &QueueParams) -> WorkloadSpec {
     }
     // Interleave producers and consumers deterministically.
     let mut shuffled = transactions;
-    use rand::seq::SliceRandom;
+    use obase_rng::SliceRandom;
     shuffled.shuffle(&mut rng);
     WorkloadSpec {
         def,
@@ -331,9 +329,8 @@ pub fn dictionary(params: &DictionaryParams) -> WorkloadSpec {
     let ty = Arc::new(Dictionary);
     let ids: Vec<ObjectId> = (0..params.dictionaries)
         .map(|i| {
-            let initial = Value::map(
-                (0..params.keys).map(|k| (format!("k{k}"), Value::Int(k as i64))),
-            );
+            let initial =
+                Value::map((0..params.keys).map(|k| (format!("k{k}"), Value::Int(k as i64))));
             base.add_object_with_state(format!("dict{i}"), ty.clone(), initial)
         })
         .collect();
@@ -385,7 +382,7 @@ pub fn dictionary(params: &DictionaryParams) -> WorkloadSpec {
                     if r < params.lookup_fraction {
                         Program::invoke(d, "lookup", [key])
                     } else if r < params.lookup_fraction + (1.0 - params.lookup_fraction) / 2.0 {
-                        Program::invoke(d, "put", [key, Value::Int(rng.gen_range(0..1000))])
+                        Program::invoke(d, "put", [key, Value::Int(rng.gen_range(0..1000i64))])
                     } else {
                         Program::invoke(d, "remove", [key])
                     }
@@ -512,7 +509,7 @@ pub fn orders(params: &OrdersParams) -> WorkloadSpec {
             // (possibly parallel) sub-transactions never conflict with each
             // other — contention comes from *other* orders.
             let mut skus: Vec<usize> = (0..32).collect();
-            use rand::seq::SliceRandom as _;
+            use obase_rng::SliceRandom as _;
             skus.shuffle(&mut rng);
             let items: Vec<Program> = skus
                 .into_iter()
@@ -520,7 +517,7 @@ pub fn orders(params: &OrdersParams) -> WorkloadSpec {
                 .map(|sku| {
                     let inv = inventories[rng.gen_range(0..inventories.len())];
                     let sku = Value::from(format!("sku{sku}"));
-                    let qty = Value::Int(rng.gen_range(1..5));
+                    let qty = Value::Int(rng.gen_range(1..5i64));
                     Program::invoke(inv, "reserve", [sku, qty])
                 })
                 .collect();
@@ -534,7 +531,7 @@ pub fn orders(params: &OrdersParams) -> WorkloadSpec {
                 body: Program::Seq(vec![
                     Program::invoke(desk, "record", []),
                     line_items,
-                    Program::invoke(account, "debit", [Value::Int(rng.gen_range(1..50))]),
+                    Program::invoke(account, "debit", [Value::Int(rng.gen_range(1..50i64))]),
                 ]),
             }
         })
@@ -545,11 +542,11 @@ pub fn orders(params: &OrdersParams) -> WorkloadSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obase_exec::{run, EngineConfig};
+    use obase_exec::{execute, ExecParams};
     use obase_lock::N2plScheduler;
 
-    fn small_config() -> EngineConfig {
-        EngineConfig {
+    fn small_config() -> ExecParams {
+        ExecParams {
             seed: 11,
             clients: 3,
             ..Default::default()
@@ -577,7 +574,7 @@ mod tests {
             audit_fraction: 0.0,
             ..Default::default()
         });
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &small_config());
+        let result = execute(&wl, &mut N2plScheduler::operation_locks(), &small_config());
         assert_eq!(result.metrics.committed, 12);
         assert!(obase_core::sg::certifies_serialisable(&result.history));
         // Transfers move money but a withdraw that fails leaves the deposit
@@ -596,7 +593,7 @@ mod tests {
             read_fraction: 0.0,
             ..Default::default()
         });
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &small_config());
+        let result = execute(&wl, &mut N2plScheduler::operation_locks(), &small_config());
         assert_eq!(result.metrics.committed, 8);
         // All-increment workload never blocks under semantic locking.
         assert_eq!(result.metrics.blocked_events, 0);
@@ -612,7 +609,7 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(wl.transactions.len(), 10);
-        let result = run(&wl, &mut N2plScheduler::step_locks(), &small_config());
+        let result = execute(&wl, &mut N2plScheduler::step_locks(), &small_config());
         assert_eq!(result.metrics.committed, 10);
         assert!(obase_core::sg::certifies_serialisable(&result.history));
     }
@@ -625,7 +622,7 @@ mod tests {
             transactions: 10,
             ..Default::default()
         });
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &small_config());
+        let result = execute(&wl, &mut N2plScheduler::operation_locks(), &small_config());
         assert_eq!(result.metrics.committed, 10);
         assert!(obase_core::legality::is_legal(&result.history));
     }
@@ -637,7 +634,7 @@ mod tests {
             parallel_items: true,
             ..Default::default()
         });
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &small_config());
+        let result = execute(&wl, &mut N2plScheduler::operation_locks(), &small_config());
         assert_eq!(result.metrics.committed, 8);
         assert!(obase_core::sg::certifies_serialisable(&result.history));
         // The order transactions really nest: there are more executions than

@@ -1,6 +1,6 @@
 //! Skewed access distributions for workload generators.
 
-use rand::Rng;
+use obase_rng::Rng;
 
 /// A Zipf-like sampler over `0..n` with skew parameter `theta`.
 ///
@@ -27,7 +27,9 @@ impl Zipf {
             acc += *w / total;
             *w = acc;
         }
-        Zipf { cumulative: weights }
+        Zipf {
+            cumulative: weights,
+        }
     }
 
     /// Number of items.
@@ -70,8 +72,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use obase_rng::{ChaCha8Rng, SeedableRng};
 
     #[test]
     fn uniform_covers_all_items() {

@@ -10,7 +10,7 @@
 use obase::prelude::*;
 use obase::workload::{queues, QueueParams};
 
-fn run_with(scheduler_name: &str, step_locks: bool, preload: usize) -> obase::exec::RunMetrics {
+fn run_with(spec: SchedulerSpec, preload: usize) -> Result<RunReport, RuntimeError> {
     let wl = queues(&QueueParams {
         queues: 1,
         producers: 12,
@@ -18,37 +18,34 @@ fn run_with(scheduler_name: &str, step_locks: bool, preload: usize) -> obase::ex
         preload,
         seed: 17,
     });
-    let mut scheduler = if step_locks {
-        N2plScheduler::step_locks()
-    } else {
-        N2plScheduler::operation_locks()
-    };
-    let cfg = EngineConfig {
-        seed: 17,
-        clients: 6,
-        ..Default::default()
-    };
-    let result = run(&wl, &mut scheduler, &cfg);
-    assert!(obase::core::sg::certifies_serialisable(&result.history));
+    let report = Runtime::builder()
+        .scheduler(spec)
+        .clients(6)
+        .seed(17)
+        .build()
+        .map_err(RuntimeError::Config)?
+        .run(&wl)?;
+    report.assert_serialisable();
     println!(
-        "{scheduler_name:<22} preload={preload:<3} committed={:<3} blocked={:<4} rounds={:<5} throughput={:.3}",
-        result.metrics.committed,
-        result.metrics.blocked_events,
-        result.metrics.rounds,
-        result.metrics.throughput()
+        "{:<22} preload={preload:<3} committed={:<3} blocked={:<4} rounds={:<5} throughput={:.3}",
+        report.scheduler,
+        report.metrics.committed,
+        report.metrics.blocked_events,
+        report.metrics.rounds,
+        report.throughput()
     );
-    result.metrics
+    Ok(report)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Producer/consumer queue, 12 producers + 12 consumers, 6 clients\n");
     for preload in [0, 4, 16, 64] {
-        let op = run_with("N2PL operation locks", false, preload);
-        let step = run_with("N2PL step locks", true, preload);
+        let op = run_with(SchedulerSpec::n2pl_operation(), preload)?;
+        let step = run_with(SchedulerSpec::n2pl_step(), preload)?;
         let speedup = step.throughput() / op.throughput().max(f64::EPSILON);
         println!(
             "  -> step-level locking throughput advantage: {speedup:.2}x (blocking {} vs {})\n",
-            step.blocked_events, op.blocked_events
+            step.metrics.blocked_events, op.metrics.blocked_events
         );
     }
     println!(
@@ -56,4 +53,5 @@ fn main() {
          concurrent Enqueue produced, so step-level locks let producers and\n\
          consumers run in parallel while operation-level locks serialise them."
     );
+    Ok(())
 }

@@ -1,6 +1,6 @@
 //! Quickstart: build an object base by hand, run a few transactions under
-//! nested two-phase locking, and verify the resulting history with the
-//! serialisability theorem.
+//! nested two-phase locking via the declarative `Runtime` facade, and verify
+//! the resulting history with the serialisability theorems.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -8,7 +8,7 @@ use obase::adt::{Account, Counter};
 use obase::prelude::*;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An object base: two bank accounts and an audit counter.
     let mut base = ObjectBase::new();
     let alice = base.add_object("alice", Arc::new(Account::with_initial(100)));
@@ -17,7 +17,7 @@ fn main() {
 
     // 2. Methods: each account knows how to deposit/withdraw, the counter
     //    records audits.
-    let mut def = obase::exec::ObjectBaseDef::new(Arc::new(base));
+    let mut def = ObjectBaseDef::new(Arc::new(base));
     for account in [alice, bob] {
         def.define_method(
             account,
@@ -26,7 +26,7 @@ fn main() {
                 params: 1,
                 body: Program::Local {
                     op: "Withdraw".into(),
-                    args: vec![obase::exec::Expr::Param(0)],
+                    args: vec![Expr::Param(0)],
                 },
             },
         );
@@ -37,7 +37,7 @@ fn main() {
                 params: 1,
                 body: Program::Local {
                     op: "Deposit".into(),
-                    args: vec![obase::exec::Expr::Param(0)],
+                    args: vec![Expr::Param(0)],
                 },
             },
         );
@@ -73,21 +73,32 @@ fn main() {
     ];
     let workload = WorkloadSpec { def, transactions };
 
-    // 4. Run under nested two-phase locking (Moss' algorithm, Section 5.1).
-    let mut scheduler = N2plScheduler::operation_locks();
-    let result = run(&workload, &mut scheduler, &EngineConfig::default());
+    // 4. The scheduler is declarative data: nested two-phase locking with
+    //    conservative operation locks (Moss' algorithm, Section 5.1). The
+    //    same spec could have been parsed from a JSON config file.
+    let spec = SchedulerSpec::n2pl_operation();
+    println!("scheduler spec     : {}", spec.to_json_string());
 
-    println!("scheduler          : {}", result.metrics.scheduler);
-    println!("committed          : {}", result.metrics.committed);
-    println!("aborts             : {}", result.metrics.aborts);
-    println!("blocked events     : {}", result.metrics.blocked_events);
-    println!("rounds (makespan)  : {}", result.metrics.rounds);
+    // 5. Build a validated runtime and run the workload.
+    let runtime = Runtime::builder()
+        .scheduler(spec)
+        .clients(4)
+        .seed(42)
+        .retries(16)
+        .verify(Verify::Full)
+        .build()?;
+    let report = runtime.run(&workload)?;
 
-    // 5. Verify the run against the paper's theory.
-    assert!(obase::core::legality::is_legal(&result.history));
-    assert!(obase::core::sg::certifies_serialisable(&result.history));
-    assert!(obase::core::local_graphs::theorem5_condition_holds(&result.history));
-    let finals = obase::core::replay::final_states(&result.history).unwrap();
+    println!("scheduler          : {}", report.scheduler);
+    println!("committed          : {}", report.metrics.committed);
+    println!("aborts             : {}", report.metrics.aborts);
+    println!("blocked events     : {}", report.metrics.blocked_events);
+    println!("rounds (makespan)  : {}", report.metrics.rounds);
+
+    // 6. Verify the run against the paper's theory: legality, Theorem 2 and
+    //    Theorem 5 in one call.
+    report.assert_serialisable();
+    let finals = obase::core::replay::final_states(&report.history)?;
     println!("final states       : {finals:?}");
     let total: i64 = [alice, bob]
         .iter()
@@ -95,4 +106,5 @@ fn main() {
         .sum();
     assert_eq!(total, 200, "transfers conserve money");
     println!("history is legal, serialisable, and satisfies Theorem 5 ✓");
+    Ok(())
 }

@@ -1,15 +1,13 @@
 //! Compare every concurrency-control algorithm in the library on the same
-//! nested order-processing workload, verifying each run against the
-//! serialisability theorem.
+//! nested order-processing workload with `Runtime::faceoff`, verifying each
+//! run against the serialisability theorems.
 //!
 //! Run with `cargo run --example scheduler_faceoff`.
 
-use obase::exec::MixedScheduler;
 use obase::prelude::*;
 use obase::workload::{orders, OrdersParams};
-use obase_core::sched::Scheduler;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = OrdersParams {
         desks: 2,
         inventories: 3,
@@ -20,55 +18,40 @@ fn main() {
         seed: 23,
     };
     let wl = orders(&params);
-    let cfg = EngineConfig {
-        seed: 23,
-        clients: 6,
-        ..Default::default()
-    };
 
     println!(
         "Nested order processing: {} orders, {} line items each, parallel items\n",
         params.transactions, params.items_per_order
     );
-    println!(
-        "{:<20} {:>9} {:>8} {:>9} {:>8} {:>11}",
-        "scheduler", "committed", "aborts", "blocked", "rounds", "throughput"
-    );
 
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(FlatObjectScheduler::exclusive()),
-        Box::new(FlatObjectScheduler::read_write()),
-        Box::new(N2plScheduler::operation_locks()),
-        Box::new(N2plScheduler::step_locks()),
-        Box::new(NtoScheduler::conservative()),
-        Box::new(NtoScheduler::provisional()),
-        Box::new(SgtCertifier::new()),
-        Box::new(MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks()))),
-    ];
+    // The contenders, as declarative specs: every basic algorithm plus the
+    // Section 2 mixture (per-object step locks + the inter-object certifier).
+    let mut specs = SchedulerSpec::all_basic();
+    specs.push(SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()));
 
-    for mut scheduler in schedulers {
-        let result = run(&wl, scheduler.as_mut(), &cfg);
-        // Whatever the algorithm, the committed history must be serialisable
-        // (Theorem 2) and satisfy the per-object condition (Theorem 5).
-        assert!(
-            obase::core::sg::certifies_serialisable(&result.history),
-            "{} admitted a non-serialisable history",
-            result.metrics.scheduler
-        );
-        assert!(obase::core::local_graphs::theorem5_condition_holds(&result.history));
-        println!(
-            "{:<20} {:>9} {:>8} {:>9} {:>8} {:>11.3}",
-            result.metrics.scheduler,
-            result.metrics.committed,
-            result.metrics.aborts,
-            result.metrics.blocked_events,
-            result.metrics.rounds,
-            result.metrics.throughput()
-        );
+    // One runtime configuration, every scheduler: `compare` reuses the same
+    // engine parameters so the face-off is apples to apples.
+    let runtime = Runtime::builder()
+        .scheduler(specs[0].clone())
+        .clients(6)
+        .seed(23)
+        .verify(Verify::Full)
+        .build()?;
+    let faceoff = runtime.compare(&wl, &specs)?;
+
+    // Whatever the algorithm, the committed history must be legal, have an
+    // acyclic serialisation graph (Theorem 2) and satisfy the per-object
+    // condition (Theorem 5).
+    faceoff.assert_all_serialisable();
+
+    println!("{}", faceoff.render_table());
+    if let Some(best) = faceoff.best_by_throughput() {
+        println!("highest throughput: {}", best.summary());
     }
 
     println!(
         "\nAll committed histories verified: legal, acyclic serialisation graph,\n\
          and Theorem 5's intra/inter-object condition holds."
     );
+    Ok(())
 }

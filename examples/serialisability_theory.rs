@@ -44,7 +44,9 @@ fn main() {
     println!("SG edges: {:?}", sg.edges().collect::<Vec<_>>());
     println!("SG acyclic? {}", sg.is_acyclic());
     assert!(sg.has_edge(t1, t2) && sg.has_edge(t2, t1));
-    assert!(!obase::core::equivalence::is_serialisable_bruteforce(&bad, 256));
+    assert!(!obase::core::equivalence::is_serialisable_bruteforce(
+        &bad, 256
+    ));
     let report = obase::core::local_graphs::theorem5_report(&bad);
     println!(
         "Theorem 5: cyclic objects = {:?}",
@@ -64,7 +66,10 @@ fn main() {
         .expect("acyclic SG yields an equivalent serial history (Theorem 2)");
     assert!(obase::core::equivalence::is_serial(&witness));
     assert!(obase::core::equivalence::equivalent(&good, &witness));
-    println!("Constructed an equivalent serial history with {} steps.", witness.step_count());
+    println!(
+        "Constructed an equivalent serial history with {} steps.",
+        witness.step_count()
+    );
     println!(
         "Final states agree: {:?}",
         obase::core::replay::final_states(&witness).unwrap()

@@ -11,6 +11,10 @@
 //!
 //! This facade crate re-exports the workspace crates:
 //!
+//! * [`runtime`] — the unified entry point: declarative
+//!   [`SchedulerSpec`](runtime::SchedulerSpec)s, the fluent
+//!   [`Runtime`](runtime::Runtime) builder and verified
+//!   [`RunReport`](runtime::RunReport)s;
 //! * [`core`] — the formal model (histories, conflicts, serialisation
 //!   graphs, Theorems 1, 2 and 5);
 //! * [`adt`] — semantic object types (registers, counters, accounts, sets,
@@ -25,6 +29,10 @@
 //!
 //! ## Quickstart
 //!
+//! Schedulers are *data*: pick one with a [`SchedulerSpec`], build a
+//! [`Runtime`], and get back a [`RunReport`] carrying the committed history,
+//! the metrics and the paper's theory checks.
+//!
 //! ```
 //! use obase::prelude::*;
 //!
@@ -34,13 +42,32 @@
 //!     transactions: 8,
 //!     ..Default::default()
 //! });
-//! let mut scheduler = N2plScheduler::operation_locks();
-//! let result = run(&wl, &mut scheduler, &EngineConfig::default());
+//! let report = Runtime::builder()
+//!     .scheduler(SchedulerSpec::n2pl_operation())
+//!     .clients(4)
+//!     .seed(7)
+//!     .verify(Verify::Full)
+//!     .build()?
+//!     .run(&wl)?;
 //!
-//! assert_eq!(result.metrics.committed, 8);
-//! // Every history a correct scheduler admits has an acyclic serialisation
-//! // graph (Theorem 2) and is therefore serialisable.
-//! assert!(obase::core::sg::certifies_serialisable(&result.history));
+//! assert_eq!(report.metrics.committed, 8);
+//! // Every history a correct scheduler admits is legal, has an acyclic
+//! // serialisation graph (Theorem 2) and satisfies the per-object condition
+//! // (Theorem 5) — one call checks all three.
+//! report.assert_serialisable();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Scheduler face-offs compare every algorithm on one workload:
+//!
+//! ```
+//! use obase::prelude::*;
+//!
+//! let wl = obase::workload::counters(&Default::default());
+//! let faceoff = Runtime::faceoff(&wl, &SchedulerSpec::all_basic())?;
+//! faceoff.assert_all_serialisable();
+//! println!("{}", faceoff.render_table());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,14 +78,26 @@ pub use obase_core as core;
 pub use obase_exec as exec;
 pub use obase_lock as lock;
 pub use obase_occ as occ;
+pub use obase_runtime as runtime;
 pub use obase_tso as tso;
 pub use obase_workload as workload;
 
+#[doc(inline)]
+pub use obase_runtime::{RunReport, Runtime, SchedulerSpec, Verify};
+
 /// Commonly used items across the workspace.
+///
+/// Concrete scheduler types are intentionally *not* exported here: choose
+/// algorithms declaratively through [`SchedulerSpec`] and the
+/// [`Runtime`] builder (see the crate-level quickstart).
 pub mod prelude {
     pub use obase_core::prelude::*;
-    pub use obase_exec::{run, EngineConfig, MethodDef, Program, RunResult, TxnSpec, WorkloadSpec};
-    pub use obase_lock::{FlatObjectScheduler, N2plScheduler};
-    pub use obase_occ::SgtCertifier;
-    pub use obase_tso::NtoScheduler;
+    pub use obase_exec::{
+        Expr, MethodDef, ObjectBaseDef, Program, RunMetrics, TxnSpec, WorkloadSpec,
+    };
+    pub use obase_runtime::{
+        ConfigError, Faceoff, FlatMode, LockGranularity, NtoStyle, RunReport, Runtime,
+        RuntimeBuilder, RuntimeError, SchedulerRegistry, SchedulerSpec, TheoryChecks,
+        TheoryViolation, Verify,
+    };
 }

@@ -1,47 +1,37 @@
-//! End-to-end integration tests: every scheduler, every workload generator,
-//! with post-hoc verification of the committed history against the paper's
-//! theorems.
+//! End-to-end integration tests: every scheduler spec, every workload
+//! generator, run through the `Runtime` facade with post-hoc verification of
+//! the committed history against the paper's theorems.
 
-use obase::exec::MixedScheduler;
 use obase::prelude::*;
 use obase::workload as wl;
-use obase_core::sched::Scheduler;
 
-fn schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(FlatObjectScheduler::exclusive()),
-        Box::new(FlatObjectScheduler::read_write()),
-        Box::new(N2plScheduler::operation_locks()),
-        Box::new(N2plScheduler::step_locks()),
-        Box::new(NtoScheduler::conservative()),
-        Box::new(NtoScheduler::provisional()),
-        Box::new(SgtCertifier::new()),
-        Box::new(MixedScheduler::new().with_default_intra(Box::new(N2plScheduler::step_locks()))),
-    ]
+/// The full line-up: every basic algorithm plus the Section 2 mixture.
+fn specs() -> Vec<SchedulerSpec> {
+    let mut specs = SchedulerSpec::all_basic();
+    specs.push(SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()));
+    specs
 }
 
-fn verify(result: &RunResult, label: &str) {
-    assert!(
-        obase::core::legality::is_legal(&result.history),
-        "{label}: committed history is not legal"
-    );
-    assert!(
-        obase::core::sg::certifies_serialisable(&result.history),
-        "{label}: committed history has a cyclic serialisation graph"
-    );
-    assert!(
-        obase::core::local_graphs::theorem5_condition_holds(&result.history),
-        "{label}: Theorem 5 condition violated"
-    );
-    assert!(!result.metrics.timed_out, "{label}: run timed out");
+fn runtime(spec: SchedulerSpec, seed: u64) -> Runtime {
+    Runtime::builder()
+        .scheduler(spec)
+        .clients(4)
+        .seed(seed)
+        .verify(Verify::Full)
+        .build()
+        .expect("valid configuration")
 }
 
-fn config(seed: u64) -> EngineConfig {
-    EngineConfig {
-        seed,
-        clients: 4,
-        ..Default::default()
-    }
+fn verify(report: &RunReport) {
+    report.assert_serialisable();
+    assert!(
+        !report.metrics.timed_out,
+        "{}: run timed out",
+        report.scheduler
+    );
+    assert_eq!(report.checks.legal, Some(true));
+    assert_eq!(report.checks.sg_acyclic, Some(true));
+    assert_eq!(report.checks.theorem5, Some(true));
 }
 
 #[test]
@@ -52,13 +42,13 @@ fn banking_under_every_scheduler_is_serialisable() {
         skew: 0.6,
         ..Default::default()
     });
-    for mut s in schedulers() {
-        let result = run(&workload, s.as_mut(), &config(101));
-        let label = result.metrics.scheduler.clone();
-        verify(&result, &label);
+    for spec in specs() {
+        let report = runtime(spec, 101).run(&workload).unwrap();
+        verify(&report);
         assert!(
-            result.metrics.committed + result.metrics.gave_up == 24,
-            "{label}: every transaction either commits or exhausts its retries"
+            report.metrics.committed + report.metrics.gave_up == 24,
+            "{}: every transaction either commits or exhausts its retries",
+            report.scheduler
         );
     }
 }
@@ -73,17 +63,17 @@ fn counters_under_every_scheduler_preserve_the_sum() {
         skew: 1.0,
         seed: 7,
     });
-    for mut s in schedulers() {
-        let result = run(&workload, s.as_mut(), &config(7));
-        let label = result.metrics.scheduler.clone();
-        verify(&result, &label);
+    for spec in specs() {
+        let report = runtime(spec, 7).run(&workload).unwrap();
+        verify(&report);
         // Each committed transaction adds exactly 2 across the counters.
-        let finals = obase::core::replay::final_states(&result.history).unwrap();
+        let finals = obase::core::replay::final_states(&report.history).unwrap();
         let total: i64 = finals.values().filter_map(Value::as_int).sum();
         assert_eq!(
             total,
-            2 * result.metrics.committed as i64,
-            "{label}: increments lost or duplicated"
+            2 * report.metrics.committed as i64,
+            "{}: increments lost or duplicated",
+            report.scheduler
         );
     }
 }
@@ -97,10 +87,9 @@ fn queues_under_every_scheduler_are_serialisable() {
         preload: 6,
         seed: 9,
     });
-    for mut s in schedulers() {
-        let result = run(&workload, s.as_mut(), &config(9));
-        let label = result.metrics.scheduler.clone();
-        verify(&result, &label);
+    for spec in specs() {
+        let report = runtime(spec, 9).run(&workload).unwrap();
+        verify(&report);
     }
 }
 
@@ -114,10 +103,9 @@ fn dictionaries_under_every_scheduler_are_serialisable() {
         key_skew: 0.9,
         ..Default::default()
     });
-    for mut s in schedulers() {
-        let result = run(&workload, s.as_mut(), &config(13));
-        let label = result.metrics.scheduler.clone();
-        verify(&result, &label);
+    for spec in specs() {
+        let report = runtime(spec, 13).run(&workload).unwrap();
+        verify(&report);
     }
 }
 
@@ -129,13 +117,12 @@ fn nested_orders_with_parallel_items_are_serialisable() {
         parallel_items: true,
         ..Default::default()
     });
-    for mut s in schedulers() {
-        let result = run(&workload, s.as_mut(), &config(21));
-        let label = result.metrics.scheduler.clone();
-        verify(&result, &label);
+    for spec in specs() {
+        let report = runtime(spec, 21).run(&workload).unwrap();
+        verify(&report);
         // Orders nest: the history contains strictly more method executions
         // than top-level transactions.
-        assert!(result.history.exec_count() > result.metrics.committed);
+        assert!(report.history.exec_count() > report.metrics.committed);
     }
 }
 
@@ -148,16 +135,16 @@ fn strict_lock_schedulers_never_cascade() {
         audit_fraction: 0.3,
         ..Default::default()
     });
-    for mut s in [
-        Box::new(N2plScheduler::operation_locks()) as Box<dyn Scheduler>,
-        Box::new(N2plScheduler::step_locks()),
-        Box::new(FlatObjectScheduler::exclusive()),
+    for spec in [
+        SchedulerSpec::n2pl_operation(),
+        SchedulerSpec::n2pl_step(),
+        SchedulerSpec::flat_exclusive(),
     ] {
-        let result = run(&workload, s.as_mut(), &config(31));
+        let report = runtime(spec, 31).run(&workload).unwrap();
         assert_eq!(
-            result.metrics.cascading_aborts, 0,
+            report.metrics.cascading_aborts, 0,
             "{}: strict locking must not cascade",
-            result.metrics.scheduler
+            report.scheduler
         );
     }
 }
@@ -174,25 +161,63 @@ fn flat_baseline_blocks_more_than_semantic_locking_on_commuting_work() {
         skew: 1.5,
         seed: 3,
     });
-    let flat = run(
-        &workload,
-        &mut FlatObjectScheduler::exclusive(),
-        &config(3),
-    );
-    let nested = run(&workload, &mut N2plScheduler::operation_locks(), &config(3));
+    let faceoff = runtime(SchedulerSpec::flat_exclusive(), 3)
+        .compare(
+            &workload,
+            &[
+                SchedulerSpec::flat_exclusive(),
+                SchedulerSpec::n2pl_operation(),
+            ],
+        )
+        .unwrap();
+    let [flat, nested] = faceoff.reports() else {
+        panic!("expected two reports");
+    };
     assert!(flat.metrics.blocked_events > nested.metrics.blocked_events);
-    assert!(nested.metrics.throughput() >= flat.metrics.throughput());
+    assert!(nested.throughput() >= flat.throughput());
     // Semantic locking never blocks on pure increments.
     assert_eq!(nested.metrics.blocked_events, 0);
+    assert_eq!(
+        faceoff.best_by_throughput().unwrap().scheduler,
+        nested.scheduler
+    );
 }
 
 #[test]
 fn identical_seeds_give_identical_runs() {
     let workload = wl::orders(&wl::OrdersParams::default());
-    let a = run(&workload, &mut N2plScheduler::step_locks(), &config(77));
-    let b = run(&workload, &mut N2plScheduler::step_locks(), &config(77));
+    let a = runtime(SchedulerSpec::n2pl_step(), 77)
+        .run(&workload)
+        .unwrap();
+    let b = runtime(SchedulerSpec::n2pl_step(), 77)
+        .run(&workload)
+        .unwrap();
     assert_eq!(a.metrics.rounds, b.metrics.rounds);
     assert_eq!(a.metrics.committed, b.metrics.committed);
     assert_eq!(a.metrics.blocked_events, b.metrics.blocked_events);
     assert_eq!(a.history.step_count(), b.history.step_count());
+}
+
+#[test]
+fn faceoff_covers_every_spec_and_renders() {
+    let workload = wl::counters(&wl::CounterParams {
+        counters: 2,
+        transactions: 8,
+        touches_per_txn: 2,
+        read_fraction: 0.2,
+        skew: 0.5,
+        seed: 19,
+    });
+    let all = specs();
+    let faceoff = Runtime::faceoff(&workload, &all).unwrap();
+    assert_eq!(faceoff.reports().len(), all.len());
+    faceoff.assert_all_serialisable();
+    let table = faceoff.render_table();
+    for report in faceoff.reports() {
+        assert!(
+            table.contains(&report.scheduler),
+            "missing {}",
+            report.scheduler
+        );
+    }
 }

@@ -1,11 +1,12 @@
-//! Property-based tests of the core theory over randomly generated
-//! interleavings: Theorem 1 (replay determinism), Theorem 2 (the
-//! serialisation-graph test is sound) and Theorem 5 (the per-object condition
-//! is sound), plus the soundness of every ADT conflict specification.
+//! Property-style tests of the core theory over randomly generated (seeded,
+//! reproducible) interleavings: Theorem 1 (replay determinism), Theorem 2
+//! (the serialisation-graph test is sound) and Theorem 5 (the per-object
+//! condition is sound), plus the soundness of every ADT conflict
+//! specification. Engine-level properties run through the `Runtime` facade.
 
 use obase::adt;
 use obase::prelude::*;
-use proptest::prelude::*;
+use obase_rng::{ChaCha8Rng, Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A small random-interleaving generator: `txns` transactions, each touching
@@ -78,80 +79,116 @@ fn random_history(
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every randomly generated interleaving is a legal history, its final state
+/// does not depend on the chosen topological sort (Theorem 1), and if its
+/// serialisation graph is acyclic then the constructed equivalent serial
+/// history verifies (Theorem 2), in which case the Theorem 5 condition's
+/// verdict is consistent with serialisability.
+#[test]
+fn random_interleavings_respect_the_theorems() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7E08);
+    for case in 0..48 {
+        let object_kinds: Vec<u8> = (0..rng.gen_range(1..4usize))
+            .map(|_| rng.gen_range(0..4u32) as u8)
+            .collect();
+        let txns = rng.gen_range(1..4usize);
+        let ops = rng.gen_range(1..4usize);
+        let schedule: Vec<u8> = (0..rng.gen_range(1..64usize))
+            .map(|_| rng.gen_range(0..256u32) as u8)
+            .collect();
 
-    /// Every randomly generated interleaving is a legal history, its final
-    /// state does not depend on the chosen topological sort (Theorem 1), and
-    /// if its serialisation graph is acyclic then the constructed equivalent
-    /// serial history verifies (Theorem 2), in which case the Theorem 5
-    /// condition's verdict is consistent with serialisability.
-    #[test]
-    fn random_interleavings_respect_the_theorems(
-        object_kinds in proptest::collection::vec(0u8..4, 1..4),
-        txns in 1usize..4,
-        ops in 1usize..4,
-        schedule in proptest::collection::vec(any::<u8>(), 1..64),
-    ) {
         let h = random_history(&object_kinds, txns, ops, &schedule);
-        prop_assert!(obase::core::legality::is_legal(&h));
+        assert!(obase::core::legality::is_legal(&h), "case {case}");
 
         // Theorem 1: replay determinism across linear extensions.
         for o in h.objects_touched() {
-            prop_assert!(obase::core::replay::theorem1_holds(&h, o, 24));
+            assert!(
+                obase::core::replay::theorem1_holds(&h, o, 24),
+                "case {case}: Theorem 1 fails on {o}"
+            );
         }
 
         let analysis = obase::core::sg::analyse(&h);
         if analysis.acyclic {
             // Theorem 2, executed: the constructed witness is legal, serial
             // and equivalent.
-            prop_assert_eq!(analysis.witness_verified, Some(true));
+            assert_eq!(analysis.witness_verified, Some(true), "case {case}");
             // And the bounded brute-force oracle agrees when it can afford
             // the search space.
             if h.exec_count() <= 7 {
-                prop_assert!(obase::core::equivalence::is_serialisable_bruteforce(&h, 512));
+                assert!(
+                    obase::core::equivalence::is_serialisable_bruteforce(&h, 512),
+                    "case {case}: oracle disagrees with the SG test"
+                );
             }
         }
 
         // Theorem 5: the per-object condition is sufficient for
-        // serialisability, so it can never hold while the brute-force oracle
-        // proves non-serialisability... equivalently, whenever it holds and
-        // the history is small enough to decide, the oracle finds a witness.
+        // serialisability, so whenever it holds and the history is small
+        // enough to decide, the brute-force oracle finds a witness.
         if obase::core::local_graphs::theorem5_condition_holds(&h) && h.exec_count() <= 7 {
-            prop_assert!(obase::core::equivalence::is_serialisable_bruteforce(&h, 512));
+            assert!(
+                obase::core::equivalence::is_serialisable_bruteforce(&h, 512),
+                "case {case}: oracle disagrees with the Theorem 5 condition"
+            );
         }
     }
+}
 
-    /// The committed history of an engine run under nested 2PL is always
-    /// serialisable, whatever the interleaving seed (the executable
-    /// Theorem 3).
-    #[test]
-    fn n2pl_runs_are_always_serialisable(seed in any::<u64>()) {
-        let wl = obase::workload::banking(&obase::workload::BankingParams {
-            accounts: 3,
-            transactions: 8,
-            skew: 1.0,
-            ..Default::default()
-        });
-        let cfg = EngineConfig { seed, clients: 4, ..Default::default() };
-        let result = run(&wl, &mut N2plScheduler::operation_locks(), &cfg);
-        prop_assert!(obase::core::sg::certifies_serialisable(&result.history));
+/// The committed history of an engine run under nested 2PL is always
+/// serialisable, whatever the interleaving seed (the executable Theorem 3).
+#[test]
+fn n2pl_runs_are_always_serialisable() {
+    let wl = obase::workload::banking(&obase::workload::BankingParams {
+        accounts: 3,
+        transactions: 8,
+        skew: 1.0,
+        ..Default::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(0x52D1);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        let report = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .clients(4)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run(&wl)
+            .unwrap();
+        assert!(
+            obase::core::sg::certifies_serialisable(&report.history),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Same for nested timestamp ordering (the executable Theorem 4).
-    #[test]
-    fn nto_runs_are_always_serialisable(seed in any::<u64>()) {
-        let wl = obase::workload::counters(&obase::workload::CounterParams {
-            counters: 2,
-            transactions: 8,
-            touches_per_txn: 2,
-            read_fraction: 0.4,
-            skew: 1.0,
-            seed: 5,
-        });
-        let cfg = EngineConfig { seed, clients: 4, ..Default::default() };
-        let result = run(&wl, &mut NtoScheduler::conservative(), &cfg);
-        prop_assert!(obase::core::sg::certifies_serialisable(&result.history));
+/// Same for nested timestamp ordering (the executable Theorem 4).
+#[test]
+fn nto_runs_are_always_serialisable() {
+    let wl = obase::workload::counters(&obase::workload::CounterParams {
+        counters: 2,
+        transactions: 8,
+        touches_per_txn: 2,
+        read_fraction: 0.4,
+        skew: 1.0,
+        seed: 5,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0470);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        let report = Runtime::builder()
+            .scheduler(SchedulerSpec::nto_conservative())
+            .clients(4)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run(&wl)
+            .unwrap();
+        assert!(
+            obase::core::sg::certifies_serialisable(&report.history),
+            "seed {seed}"
+        );
     }
 }
 
