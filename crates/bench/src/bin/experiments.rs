@@ -1,4 +1,5 @@
-//! The experiment harness binary: regenerates every table in EXPERIMENTS.md.
+//! The experiment harness binary: regenerates every table in EXPERIMENTS.md
+//! and records the measurements in `BENCH_results.json`.
 //!
 //! Usage:
 //!
@@ -6,7 +7,14 @@
 //! cargo run -p obase-bench --release --bin experiments            # all experiments
 //! cargo run -p obase-bench --release --bin experiments -- e2 e4   # a subset
 //! cargo run -p obase-bench --release --bin experiments -- --scale 2
+//! cargo run -p obase-bench --release --bin experiments -- --out results.json
 //! ```
+//!
+//! Markdown tables go to stdout; the same rows are written as JSON (keyed by
+//! experiment id, with per-row throughput/makespan/abort-rate and — for the
+//! e9 backend face-off — wall-clock milliseconds and transactions/second) to
+//! `BENCH_results.json` in the working directory unless `--out` says
+//! otherwise.
 
 use obase_bench as xp;
 
@@ -20,6 +28,7 @@ type Experiment = (
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1usize;
+    let mut out_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -29,6 +38,9 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--scale takes an integer");
+            }
+            "--out" => {
+                out_path = Some(it.next().expect("--out takes a path"));
             }
             other => selected.push(other.to_lowercase()),
         }
@@ -76,8 +88,14 @@ fn main() {
             "E8 — cost of the core-model analyses as histories grow",
             Box::new(xp::e8_core_scaling),
         ),
+        (
+            "e9",
+            "E9 — backend face-off: simulator vs multi-threaded engine (wall clock)",
+            Box::new(xp::e9_backend_faceoff),
+        ),
     ];
 
+    let mut results: Vec<(&str, &str, Vec<xp::Row>)> = Vec::new();
     for (key, title, f) in experiments {
         if !want(key) {
             continue;
@@ -85,5 +103,26 @@ fn main() {
         eprintln!("running {key}...");
         let rows = f(scale);
         println!("{}", xp::render_table(title, &rows));
+        results.push((key, title, rows));
     }
+    // The default BENCH_results.json is the committed record of the full
+    // line-up, so only full runs refresh it; a subset (or a typo'd key)
+    // must name an explicit --out instead of clobbering it with a partial
+    // document.
+    let out_path = match (out_path, selected.is_empty()) {
+        (Some(path), _) => path,
+        (None, true) => "BENCH_results.json".to_owned(),
+        (None, false) => {
+            eprintln!(
+                "subset run ({} experiments): BENCH_results.json left untouched; \
+                 pass --out PATH to record the results",
+                results.len()
+            );
+            return;
+        }
+    };
+    let doc = xp::results_json(&results);
+    std::fs::write(&out_path, format!("{doc}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path} ({} experiments)", results.len());
 }

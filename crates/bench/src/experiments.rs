@@ -1,7 +1,8 @@
 //! Experiment implementations (see DESIGN.md §5 for the index).
 
 use obase_exec::{RunMetrics, WorkloadSpec};
-use obase_runtime::{Runtime, SchedulerSpec, Verify};
+use obase_runtime::{ExecutionBackend, Runtime, SchedulerSpec, Verify};
+use obase_ser::Json;
 use obase_workload as wl;
 use std::collections::BTreeMap;
 
@@ -28,6 +29,35 @@ impl Row {
         self.values.insert(key.to_owned(), value);
         self
     }
+
+    /// Renders the row as a JSON object (`label` plus one number per
+    /// column).
+    pub fn to_json(&self) -> Json {
+        let mut obj: BTreeMap<String, Json> = BTreeMap::new();
+        obj.insert("label".to_owned(), Json::str(&self.label));
+        for (k, v) in &self.values {
+            obj.insert(k.clone(), Json::Float(*v));
+        }
+        Json::Object(obj)
+    }
+}
+
+/// Renders a set of finished experiments as the `BENCH_results.json`
+/// document: one entry per experiment keyed by its id, carrying the title
+/// and every row with its measurements (throughput, makespan, abort counts,
+/// wall-clock time where measured).
+pub fn results_json(results: &[(&str, &str, Vec<Row>)]) -> Json {
+    let mut doc: BTreeMap<String, Json> = BTreeMap::new();
+    for (key, title, rows) in results {
+        let mut entry: BTreeMap<String, Json> = BTreeMap::new();
+        entry.insert("title".to_owned(), Json::str(*title));
+        entry.insert(
+            "rows".to_owned(),
+            Json::Array(rows.iter().map(Row::to_json).collect()),
+        );
+        doc.insert((*key).to_owned(), Json::Object(entry));
+    }
+    Json::Object(doc)
 }
 
 /// Renders rows as a Markdown table.
@@ -90,9 +120,11 @@ fn metrics_row(label: &str, m: &RunMetrics) -> Row {
     Row::new(label)
         .with("committed", m.committed as f64)
         .with("aborts", m.aborts as f64)
+        .with("abort_rate", m.abort_ratio())
         .with("blocked", m.blocked_events as f64)
         .with("rounds", m.rounds as f64)
         .with("throughput", m.throughput())
+        .with("wall_ms", m.wall_micros as f64 / 1000.0)
 }
 
 /// E1 — flat (object-as-data-item) baseline vs nested schedulers across
@@ -374,6 +406,64 @@ pub fn e8_core_scaling(scale: usize) -> Vec<Row> {
     rows
 }
 
+/// E9 — backend face-off (the tentpole measurement): the deterministic
+/// simulator vs the multi-threaded `obase-par` engine on identical
+/// workloads, in wall-clock time. The simulator's strength is reproducible
+/// adversarial interleavings; the parallel engine's is using the hardware —
+/// this experiment records both sides so the perf trajectory of the real
+/// backend is tracked run over run.
+pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let workload = wl::banking(&wl::BankingParams {
+        accounts: 16,
+        transactions: 32 * scale,
+        skew: 0.6,
+        seed: 1009,
+        ..Default::default()
+    });
+    let backends = [
+        ExecutionBackend::Simulated,
+        ExecutionBackend::Parallel { workers: 2 },
+        ExecutionBackend::Parallel { workers: 4 },
+        ExecutionBackend::Parallel { workers: 8 },
+    ];
+    for spec in [
+        SchedulerSpec::n2pl_operation(),
+        SchedulerSpec::nto_provisional(),
+        SchedulerSpec::SgtCertifier,
+    ] {
+        for backend in backends {
+            let report = Runtime::builder()
+                .scheduler(spec.clone())
+                .backend(backend)
+                .clients(8)
+                .seed(1009)
+                .retries(64)
+                .verify(Verify::Quick)
+                .build()
+                .expect("valid experiment configuration")
+                .run(&workload)
+                .expect("well-formed generated workload");
+            assert!(
+                report.checks.all_passed(),
+                "{} on {} produced a non-serialisable history",
+                report.scheduler,
+                backend.label()
+            );
+            let m = &report.metrics;
+            rows.push(
+                Row::new(format!("{} / {}", m.scheduler, backend.label()))
+                    .with("committed", m.committed as f64)
+                    .with("aborts", m.aborts as f64)
+                    .with("abort_rate", m.abort_ratio())
+                    .with("wall_ms", m.wall_micros as f64 / 1000.0)
+                    .with("txn_per_sec", m.wall_throughput()),
+            );
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,5 +503,30 @@ mod tests {
         let seq = rows[0].values["rounds"];
         let par = rows[1].values["rounds"];
         assert!(par <= seq);
+    }
+
+    #[test]
+    fn e9_small_scale_runs_both_backends() {
+        let rows = e9_backend_faceoff(1);
+        assert_eq!(rows.len(), 12); // 3 schedulers × 4 backends
+        for r in &rows {
+            assert!(
+                r.values["wall_ms"] > 0.0,
+                "{} recorded no wall time",
+                r.label
+            );
+        }
+    }
+
+    #[test]
+    fn results_json_shape() {
+        let rows = vec![Row::new("a").with("x", 1.5)];
+        let doc = results_json(&[("e0", "demo", rows)]);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        let entry = back.get("e0").unwrap();
+        assert_eq!(entry.get("title").and_then(Json::as_str), Some("demo"));
+        let row = entry.get("rows").unwrap().as_array().unwrap()[0].clone();
+        assert_eq!(row.get("label").and_then(Json::as_str), Some("a"));
     }
 }

@@ -144,7 +144,13 @@ pub trait TxnView {
 /// All methods take `&mut self`; a scheduler instance serves one engine run.
 /// The default implementations make every hook a no-op that grants
 /// everything, so simple schedulers only override what they need.
-pub trait Scheduler {
+///
+/// Schedulers must be [`Send`]: the parallel backend (`obase-par`) moves the
+/// instance into a mutex shared by its worker threads. Exclusive access is
+/// still guaranteed — every hook is invoked under that single lock — so
+/// implementations need no internal synchronisation, just no thread-affine
+/// state (`Rc`, raw pointers, ...).
+pub trait Scheduler: Send {
     /// A short human-readable name ("N2PL(op)", "NTO(conservative)", ...)
     /// used in experiment output.
     fn name(&self) -> String;

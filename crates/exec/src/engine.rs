@@ -611,6 +611,7 @@ impl EngineState {
 }
 
 /// The engine's configuration struct under its pre-0.2 name.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ExecParams`, or configure runs through `obase_runtime::Runtime`"
@@ -618,6 +619,7 @@ impl EngineState {
 pub type EngineConfig = ExecParams;
 
 /// Runs a workload under a scheduler (pre-0.2 entry point).
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `execute`, or run workloads through `obase_runtime::Runtime`"
@@ -637,8 +639,10 @@ pub fn execute(
     scheduler: &mut dyn Scheduler,
     config: &ExecParams,
 ) -> RunResult {
+    let started = std::time::Instant::now();
     let mut st = EngineState::new(workload, config);
     st.metrics.scheduler = scheduler.name();
+    st.metrics.backend = "simulated".to_owned();
     st.metrics.submitted = workload.transactions.len();
     while !st.settled() && st.metrics.rounds < config.max_rounds {
         st.metrics.rounds += 1;
@@ -664,6 +668,7 @@ pub fn execute(
     if !st.settled() {
         st.metrics.timed_out = true;
     }
+    st.metrics.wall_micros = started.elapsed().as_micros() as u64;
     let metrics = st.metrics;
     let raw_history = st.builder.build();
     let history = raw_history.committed_projection();

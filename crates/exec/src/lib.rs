@@ -58,7 +58,9 @@ pub mod store;
 
 pub use engine::{execute, ExecParams, RunResult};
 #[allow(deprecated)]
+#[doc(hidden)]
 pub use engine::{run, EngineConfig};
 pub use metrics::RunMetrics;
 pub use mixed::MixedScheduler;
 pub use program::{Expr, MethodDef, ObjRef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};
+pub use store::{replay_log, LogEntry, ObjectStore};

@@ -8,6 +8,9 @@ use std::collections::BTreeMap;
 pub struct RunMetrics {
     /// Name of the scheduler that produced the run.
     pub scheduler: String,
+    /// The execution backend that produced the run (`"simulated"` or
+    /// `"parallel(N)"` with the worker count).
+    pub backend: String,
     /// Number of top-level transactions submitted (excluding retries).
     pub submitted: usize,
     /// Number of top-level transactions that committed.
@@ -33,9 +36,17 @@ pub struct RunMetrics {
     /// Local steps that were installed by executions that later aborted.
     pub wasted_steps: u64,
     /// Scheduling rounds until all transactions settled — the makespan of the
-    /// run on the simulated parallel machine.
+    /// run on the simulated parallel machine. The parallel backend reports
+    /// its count of control-plane state transitions here (every grant,
+    /// install, commit and abort bumps it), which plays the same
+    /// logical-makespan role.
     pub rounds: u64,
-    /// `true` if the run hit the round limit before settling.
+    /// Wall-clock duration of the run in microseconds. This is the makespan
+    /// that matters for the parallel backend; the simulator fills it in too
+    /// so backends can be compared on real time.
+    pub wall_micros: u64,
+    /// `true` if the run hit its limit (the simulator's round bound, or the
+    /// parallel backend's wall-clock deadline) before settling.
     pub timed_out: bool,
 }
 
@@ -64,6 +75,17 @@ impl RunMetrics {
         }
     }
 
+    /// Committed transactions per wall-clock second — the throughput measure
+    /// that is comparable across backends. Zero if the run recorded no wall
+    /// time.
+    pub fn wall_throughput(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.committed as f64 / (self.wall_micros as f64 / 1_000_000.0)
+        }
+    }
+
     /// Records an abort with a reason label.
     pub fn record_abort(&mut self, reason: &str) {
         self.aborts += 1;
@@ -74,6 +96,7 @@ impl RunMetrics {
     pub fn to_json(&self) -> Json {
         Json::object([
             ("scheduler", Json::str(&self.scheduler)),
+            ("backend", Json::str(&self.backend)),
             ("submitted", Json::Int(self.submitted as i64)),
             ("committed", Json::Int(self.committed as i64)),
             ("aborts", Json::Int(self.aborts as i64)),
@@ -94,8 +117,10 @@ impl RunMetrics {
             ("installed_steps", Json::Int(self.installed_steps as i64)),
             ("wasted_steps", Json::Int(self.wasted_steps as i64)),
             ("rounds", Json::Int(self.rounds as i64)),
+            ("wall_micros", Json::Int(self.wall_micros as i64)),
             ("timed_out", Json::Bool(self.timed_out)),
             ("throughput", Json::Float(self.throughput())),
+            ("wall_throughput", Json::Float(self.wall_throughput())),
         ])
     }
 }

@@ -12,7 +12,7 @@
 
 use obase_core::error::TypeError;
 use obase_core::ids::{ExecId, ObjectId};
-use obase_core::object::ObjectBase;
+use obase_core::object::{ObjectBase, TypeHandle};
 use obase_core::op::Operation;
 use obase_core::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,6 +27,34 @@ pub struct LogEntry {
     pub op: Operation,
     /// The recorded return value.
     pub ret: Value,
+}
+
+/// Replays an installed-step log from an initial state, checking each entry's
+/// recorded return value against the replay.
+///
+/// Returns the resulting state and the executions whose recorded return
+/// values no longer hold — they observed state produced by steps that are no
+/// longer in the log (a dirty read) and must be cascade-aborted. This is the
+/// abort/undo core shared by the simulator's [`ObjectStore`] and the sharded
+/// store of the `obase-par` parallel backend, so both backends resolve
+/// aborts identically.
+pub fn replay_log(ty: &TypeHandle, initial: &Value, log: &[LogEntry]) -> (Value, BTreeSet<ExecId>) {
+    let mut invalidated = BTreeSet::new();
+    let mut state = initial.clone();
+    for entry in log {
+        match ty.apply(&state, &entry.op) {
+            Ok((next, ret)) => {
+                if ret != entry.ret {
+                    invalidated.insert(entry.exec);
+                }
+                state = next;
+            }
+            Err(_) => {
+                invalidated.insert(entry.exec);
+            }
+        }
+    }
+    (state, invalidated)
 }
 
 /// The mutable object state of an engine run.
@@ -112,24 +140,13 @@ impl ObjectStore {
             log.retain(|e| !aborted.contains(&e.exec));
             // Replay the surviving log.
             let ty = self.base.type_of(o);
-            let mut state = self
+            let initial = self
                 .initial
                 .get(&o)
                 .cloned()
                 .unwrap_or_else(|| ty.initial_state());
-            for entry in log.iter() {
-                match ty.apply(&state, &entry.op) {
-                    Ok((next, ret)) => {
-                        if ret != entry.ret {
-                            invalidated.insert(entry.exec);
-                        }
-                        state = next;
-                    }
-                    Err(_) => {
-                        invalidated.insert(entry.exec);
-                    }
-                }
-            }
+            let (state, bad) = replay_log(&ty, &initial, log);
+            invalidated.extend(bad);
             self.states.insert(o, state);
         }
         invalidated

@@ -1,0 +1,903 @@
+//! The parallel execution engine: a worker pool over the sharded store.
+//!
+//! See the crate docs for the control-plane/data-plane split and the
+//! blocking model. This module implements:
+//!
+//! * the worker loop (claim a pending transaction, execute it, commit or
+//!   abort-and-retry);
+//! * the recursive program walker, which runs `Par` branches on real scoped
+//!   threads (intra-transaction parallelism, Section 3(c) of the paper);
+//! * the scheduler gates, which turn [`Decision::Block`] into a condition
+//!   variable wait and wake blocked workers on every state transition;
+//! * abort processing, which replays per-object logs through the same
+//!   routine as the simulator and dooms cascading dirty readers;
+//! * the monitor thread: a waits-for-graph deadlock ticker plus the
+//!   wall-clock deadline that guards against livelock.
+
+use crate::store::ShardedStore;
+use obase_core::builder::HistoryBuilder;
+use obase_core::graph::DiGraph;
+use obase_core::ids::{ExecId, ObjectId, StepId};
+use obase_core::object::{ObjectBase, TypeHandle};
+use obase_core::op::{LocalStep, Operation};
+use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
+use obase_core::value::Value;
+use obase_exec::{ExecParams, Program, RunMetrics, RunResult, TxnSpec, WorkloadSpec};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Parameters of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParParams {
+    /// Number of worker threads; each runs one top-level transaction at a
+    /// time, so this is also the maximum inter-transaction concurrency.
+    pub workers: usize,
+    /// How many times an aborted top-level transaction is re-submitted.
+    pub max_retries: u32,
+    /// Wall-clock bound on the whole run (guards against livelock; the run
+    /// is flagged `timed_out` if it trips).
+    pub deadline: Duration,
+    /// Cadence of the monitor thread's deadlock/deadline ticks.
+    pub monitor_tick: Duration,
+    /// Number of store shards; `0` sizes automatically from the object count
+    /// and worker count.
+    pub shards: usize,
+}
+
+impl Default for ParParams {
+    fn default() -> Self {
+        ParParams {
+            workers: 4,
+            max_retries: 16,
+            deadline: Duration::from_secs(10),
+            monitor_tick: Duration::from_millis(1),
+            shards: 0,
+        }
+    }
+}
+
+impl ParParams {
+    /// Derives parallel parameters from the simulator's knob set: the retry
+    /// budget carries over, `workers` replaces `clients` as the concurrency
+    /// cap, and the round bound is replaced by this struct's wall-clock
+    /// deadline.
+    pub fn from_exec(params: &ExecParams, workers: usize) -> Self {
+        ParParams {
+            workers,
+            max_retries: params.max_retries,
+            ..Default::default()
+        }
+    }
+}
+
+/// A pending top-level transaction (initial submission or retry).
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    spec: usize,
+    attempt: u32,
+}
+
+/// Control-plane record of one method execution (mirrors the builder's
+/// execution vector index for index).
+#[derive(Debug)]
+struct ExecInfo {
+    parent: Option<ExecId>,
+    object: ObjectId,
+    live: bool,
+    aborted: bool,
+    committed: bool,
+    spec: Option<(usize, u32)>,
+    children: Vec<ExecId>,
+}
+
+/// One thread of control inside a transaction: the top-level activity, or a
+/// `Par` branch. The monitor derives the waits-for graph from these.
+#[derive(Debug, Default)]
+struct Activity {
+    /// The chain of executions this activity is currently inside, outermost
+    /// first (an edge `stack[i] → stack[i+1]` means "waits for its invoked
+    /// child").
+    stack: Vec<ExecId>,
+    /// The executions a blocked scheduler decision named as holding the
+    /// conflicting resources (empty while runnable).
+    blocked_on: Vec<ExecId>,
+    active: bool,
+}
+
+/// Everything behind the control-plane mutex.
+struct Central {
+    scheduler: Box<dyn Scheduler>,
+    builder: HistoryBuilder,
+    execs: Vec<ExecInfo>,
+    activities: Vec<Activity>,
+    /// Live top-level transactions condemned to abort (by the deadlock
+    /// monitor or by cascade), with the reason; the owning worker performs
+    /// the abort at its next gate.
+    doomed: std::collections::BTreeMap<ExecId, (AbortReason, bool)>,
+    queue: VecDeque<Pending>,
+    running: usize,
+    metrics: RunMetrics,
+    /// Bumped on every state transition; blocked workers re-request when it
+    /// moves. Doubles as the logical makespan reported in `metrics.rounds`.
+    gen: u64,
+    shutdown: bool,
+}
+
+struct Shared<'w> {
+    central: Mutex<Central>,
+    cv: Condvar,
+    store: ShardedStore,
+    base: Arc<ObjectBase>,
+    workload: &'w WorkloadSpec,
+    params: ParParams,
+}
+
+/// The transaction currently being executed must stop: it was doomed by the
+/// monitor or a cascade, its scheduler answered `Abort`, or the run is
+/// shutting down. Unwinds the program walker back to the worker loop.
+struct Interrupt;
+
+/// Per-activity execution context: which execution the activity is currently
+/// running code for, and the program-order chaining state.
+struct Ctx {
+    exec: ExecId,
+    top: ExecId,
+    object: ObjectId,
+    args: Arc<Vec<Value>>,
+    prev_step: Option<StepId>,
+    last: Value,
+}
+
+struct ParView<'a> {
+    execs: &'a [ExecInfo],
+    base: &'a Arc<ObjectBase>,
+}
+
+impl TxnView for ParView<'_> {
+    fn parent(&self, e: ExecId) -> Option<ExecId> {
+        self.execs[e.index()].parent
+    }
+    fn object_of(&self, e: ExecId) -> ObjectId {
+        self.execs[e.index()].object
+    }
+    fn type_of(&self, o: ObjectId) -> TypeHandle {
+        self.base.type_of(o)
+    }
+    fn is_live(&self, e: ExecId) -> bool {
+        self.execs[e.index()].live
+    }
+}
+
+impl Central {
+    fn top_of(&self, mut e: ExecId) -> ExecId {
+        while let Some(p) = self.execs[e.index()].parent {
+            e = p;
+        }
+        e
+    }
+
+    fn subtree_of(&self, root: ExecId) -> Vec<ExecId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            stack.extend(self.execs[e.index()].children.iter().copied());
+        }
+        out
+    }
+
+    /// `true` if the given top-level transaction must stop executing.
+    fn is_interrupted(&self, top: ExecId) -> bool {
+        self.shutdown || self.doomed.contains_key(&top) || self.execs[top.index()].aborted
+    }
+
+    fn bump(&mut self) {
+        self.gen += 1;
+    }
+}
+
+fn lock<'a>(shared: &'a Shared) -> MutexGuard<'a, Central> {
+    shared
+        .central
+        .lock()
+        .expect("a worker panicked while holding the control-plane lock")
+}
+
+/// Runs a scheduler hook with the view split-borrowed from the same guard.
+fn with_sched<R>(
+    c: &mut Central,
+    base: &Arc<ObjectBase>,
+    f: impl FnOnce(&mut dyn Scheduler, &ParView) -> R,
+) -> R {
+    let Central {
+        scheduler, execs, ..
+    } = c;
+    let view = ParView { execs, base };
+    f(scheduler.as_mut(), &view)
+}
+
+/// Executes a workload on a pool of OS worker threads against the sharded
+/// store, under the given scheduler. Blocking decisions park the worker on a
+/// condition variable until the control-plane state moves; a monitor thread
+/// breaks waits-for cycles and enforces the wall-clock deadline.
+///
+/// The returned [`RunResult`] has exactly the simulator's shape: a committed
+/// (legal) history, the raw history including aborted attempts, and the run
+/// metrics — so every post-hoc theory check applies unchanged.
+pub fn execute_parallel(
+    workload: &WorkloadSpec,
+    scheduler: Box<dyn Scheduler>,
+    params: &ParParams,
+) -> RunResult {
+    let params = ParParams {
+        workers: params.workers.max(1),
+        ..params.clone()
+    };
+    let base = Arc::clone(workload.def.base());
+    let shards = if params.shards == 0 {
+        base.len().clamp(1, 4 * params.workers)
+    } else {
+        params.shards
+    };
+    let mut builder = HistoryBuilder::new(Arc::clone(&base));
+    builder.set_auto_program_order(false);
+    let metrics = RunMetrics {
+        scheduler: scheduler.name(),
+        backend: format!("parallel({})", params.workers),
+        submitted: workload.transactions.len(),
+        ..Default::default()
+    };
+    let central = Central {
+        scheduler,
+        builder,
+        execs: Vec::new(),
+        activities: Vec::new(),
+        doomed: Default::default(),
+        queue: (0..workload.transactions.len())
+            .map(|spec| Pending { spec, attempt: 0 })
+            .collect(),
+        running: 0,
+        metrics,
+        gen: 0,
+        shutdown: false,
+    };
+    let shared = Shared {
+        central: Mutex::new(central),
+        cv: Condvar::new(),
+        store: ShardedStore::new(Arc::clone(&base), shards),
+        base,
+        workload,
+        params: params.clone(),
+    };
+    let started = Instant::now();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let monitor = s.spawn(|| monitor_loop(&shared, &done, started));
+        let workers: Vec<_> = (0..params.workers)
+            .map(|_| s.spawn(|| worker_loop(&shared)))
+            .collect();
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+        done.store(true, Ordering::Release);
+        monitor.join().expect("monitor thread panicked");
+    });
+    let mut central = shared
+        .central
+        .into_inner()
+        .expect("a worker panicked while holding the control-plane lock");
+    central.metrics.rounds = central.gen;
+    central.metrics.wall_micros = started.elapsed().as_micros() as u64;
+    let metrics = central.metrics;
+    let raw_history = central.builder.build();
+    let history = raw_history.committed_projection();
+    RunResult {
+        history,
+        raw_history,
+        metrics,
+    }
+}
+
+// ----- worker loop ----------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let pending = {
+            let mut c = lock(shared);
+            loop {
+                if let Some(p) = c.queue.pop_front() {
+                    c.running += 1;
+                    break Some(p);
+                }
+                if c.running == 0 || c.shutdown {
+                    break None;
+                }
+                c = shared
+                    .cv
+                    .wait_timeout(c, shared.params.monitor_tick)
+                    .expect("a worker panicked while holding the control-plane lock")
+                    .0;
+            }
+        };
+        let Some(p) = pending else {
+            shared.cv.notify_all();
+            return;
+        };
+        run_top_level(shared, p);
+        let mut c = lock(shared);
+        c.running -= 1;
+        c.bump();
+        shared.cv.notify_all();
+    }
+}
+
+fn run_top_level(shared: &Shared, p: Pending) {
+    let spec: &TxnSpec = &shared.workload.transactions[p.spec];
+    let (top, act) = {
+        let mut c = lock(shared);
+        let top = c.builder.begin_top_level(spec.name.clone());
+        debug_assert_eq!(top.index(), c.execs.len());
+        c.execs.push(ExecInfo {
+            parent: None,
+            object: ObjectId::ENVIRONMENT,
+            live: true,
+            aborted: false,
+            committed: false,
+            spec: Some((p.spec, p.attempt)),
+            children: Vec::new(),
+        });
+        let act = alloc_activity(&mut c, top);
+        with_sched(&mut c, &shared.base, |s, v| {
+            s.on_begin(top, None, ObjectId::ENVIRONMENT, v)
+        });
+        c.bump();
+        (top, act)
+    };
+    shared.cv.notify_all();
+    let mut ctx = Ctx {
+        exec: top,
+        top,
+        object: ObjectId::ENVIRONMENT,
+        args: Arc::new(Vec::new()),
+        prev_step: None,
+        last: Value::Unit,
+    };
+    let outcome = run_program(shared, act, &mut ctx, &spec.body);
+    release_activity(shared, act);
+    match outcome {
+        Ok(()) => commit_top_level(shared, top),
+        Err(Interrupt) => handle_interrupt(shared, top),
+    }
+}
+
+fn alloc_activity(c: &mut Central, root: ExecId) -> usize {
+    c.activities.push(Activity {
+        stack: vec![root],
+        blocked_on: Vec::new(),
+        active: true,
+    });
+    c.activities.len() - 1
+}
+
+fn release_activity(shared: &Shared, act: usize) {
+    let mut c = lock(shared);
+    c.activities[act].active = false;
+    c.activities[act].blocked_on.clear();
+    c.activities[act].stack.clear();
+}
+
+// ----- the program walker ---------------------------------------------------
+
+fn run_program(
+    shared: &Shared,
+    act: usize,
+    ctx: &mut Ctx,
+    prog: &Program,
+) -> Result<(), Interrupt> {
+    match prog {
+        Program::Seq(items) => {
+            for item in items {
+                run_program(shared, act, ctx, item)?;
+            }
+            Ok(())
+        }
+        Program::Par(branches) => {
+            if branches.is_empty() {
+                return Ok(());
+            }
+            // Real intra-transaction parallelism: one scoped OS thread per
+            // branch, each acting for the same execution with its own
+            // program-order chain seeded from the fork point (exactly the
+            // simulator's branch-thread semantics).
+            let results: Vec<Result<(), Interrupt>> = std::thread::scope(|s| {
+                let handles: Vec<_> = branches
+                    .iter()
+                    .map(|branch| {
+                        let mut bctx = Ctx {
+                            exec: ctx.exec,
+                            top: ctx.top,
+                            object: ctx.object,
+                            args: Arc::clone(&ctx.args),
+                            prev_step: ctx.prev_step,
+                            last: Value::Unit,
+                        };
+                        s.spawn(move || {
+                            let bact = {
+                                let mut c = lock(shared);
+                                alloc_activity(&mut c, bctx.exec)
+                            };
+                            let r = run_program(shared, bact, &mut bctx, branch);
+                            release_activity(shared, bact);
+                            r
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("Par branch thread panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+            Ok(())
+        }
+        Program::Local { op, args } => {
+            ctx.last = do_local(shared, act, ctx, op, args)?;
+            Ok(())
+        }
+        Program::Invoke {
+            object,
+            method,
+            args,
+        } => {
+            ctx.last = do_invoke(shared, act, ctx, object, method, args)?;
+            Ok(())
+        }
+    }
+}
+
+fn do_local(
+    shared: &Shared,
+    act: usize,
+    ctx: &mut Ctx,
+    op_name: &str,
+    arg_exprs: &[obase_exec::Expr],
+) -> Result<Value, Interrupt> {
+    assert!(
+        !ctx.object.is_environment(),
+        "top-level transactions cannot issue local operations (the environment has no variables)"
+    );
+    let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(&ctx.args)).collect();
+    let op = Operation::new(op_name.to_owned(), args);
+    let object = ctx.object;
+    loop {
+        // The whole local step — operation-level request, provisional apply,
+        // step-level validation, install and history record — is one
+        // critical section on the object's shard, exactly as it is one
+        // uninterruptible thread step in the simulator. This pins the
+        // per-object conflict order seen by the scheduler (admission order)
+        // to the state-application order and to the recorded history order;
+        // admission-order schedulers like conservative NTO are incorrect
+        // without it. Blocking decisions release the shard before sleeping.
+        let mut slot = shared.store.lock_object(object);
+        let mut c = lock(shared);
+        if c.is_interrupted(ctx.top) {
+            return Err(Interrupt);
+        }
+        let decision = with_sched(&mut c, &shared.base, |s, v| {
+            s.request_local(ctx.exec, object, &op, v)
+        });
+        match decision {
+            Decision::Grant => {}
+            Decision::Abort(reason) => {
+                drop(c);
+                drop(slot);
+                process_abort(shared, ctx.top, reason, false);
+                return Err(Interrupt);
+            }
+            Decision::Block { waiting_for } => {
+                c.metrics.blocked_events += 1;
+                c.activities[act].blocked_on = waiting_for;
+                let seen = c.gen;
+                drop(c);
+                drop(slot); // never wait while holding a shard
+                wait_for_change(shared, act, ctx.top, seen)?;
+                continue;
+            }
+        }
+        let (new_state, ret) = slot
+            .provisional(&op)
+            .unwrap_or_else(|e| panic!("malformed workload: {e}"));
+        let step = LocalStep::new(op.clone(), ret.clone());
+        let decision = with_sched(&mut c, &shared.base, |s, v| {
+            s.validate_step(ctx.exec, object, &step, v)
+        });
+        match decision {
+            Decision::Grant => {
+                slot.install(ctx.exec, op.clone(), ret.clone(), new_state);
+                let sid = c.builder.local(ctx.exec, op, ret.clone());
+                if let Some(prev) = ctx.prev_step {
+                    c.builder.program_order_edge(ctx.exec, prev, sid);
+                }
+                with_sched(&mut c, &shared.base, |s, v| {
+                    s.on_step_installed(ctx.exec, object, &step, v)
+                });
+                ctx.prev_step = Some(sid);
+                c.metrics.installed_steps += 1;
+                c.bump();
+                drop(c);
+                drop(slot);
+                shared.cv.notify_all();
+                return Ok(ret);
+            }
+            Decision::Abort(reason) => {
+                drop(c);
+                drop(slot);
+                process_abort(shared, ctx.top, reason, false);
+                return Err(Interrupt);
+            }
+            Decision::Block { waiting_for } => {
+                c.metrics.blocked_events += 1;
+                c.activities[act].blocked_on = waiting_for;
+                let seen = c.gen;
+                drop(c);
+                drop(slot); // never wait while holding a shard
+                wait_for_change(shared, act, ctx.top, seen)?;
+            }
+        }
+    }
+}
+
+fn do_invoke(
+    shared: &Shared,
+    act: usize,
+    ctx: &mut Ctx,
+    objref: &obase_exec::ObjRef,
+    method: &str,
+    arg_exprs: &[obase_exec::Expr],
+) -> Result<Value, Interrupt> {
+    let target = objref.resolve(&ctx.args);
+    let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(&ctx.args)).collect();
+    sched_gate(shared, act, ctx.top, |s, v| {
+        s.request_invoke(ctx.exec, target, method, v)
+    })?;
+    let mdef = shared
+        .workload
+        .def
+        .method(target, method)
+        .unwrap_or_else(|| panic!("object {target:?} has no method {method:?}"));
+    let (msg, child) = {
+        let mut c = lock(shared);
+        if c.is_interrupted(ctx.top) {
+            return Err(Interrupt);
+        }
+        let (msg, child) = c
+            .builder
+            .invoke(ctx.exec, target, method.to_owned(), args.clone());
+        debug_assert_eq!(child.index(), c.execs.len());
+        if let Some(prev) = ctx.prev_step {
+            c.builder.program_order_edge(ctx.exec, prev, msg);
+        }
+        c.execs.push(ExecInfo {
+            parent: Some(ctx.exec),
+            object: target,
+            live: true,
+            aborted: false,
+            committed: false,
+            spec: None,
+            children: Vec::new(),
+        });
+        c.execs[ctx.exec.index()].children.push(child);
+        c.activities[act].stack.push(child);
+        with_sched(&mut c, &shared.base, |s, v| {
+            s.on_begin(child, Some(ctx.exec), target, v)
+        });
+        c.bump();
+        (msg, child)
+    };
+    shared.cv.notify_all();
+    ctx.prev_step = Some(msg);
+    let mut cctx = Ctx {
+        exec: child,
+        top: ctx.top,
+        object: target,
+        args: Arc::new(args),
+        prev_step: None,
+        last: Value::Unit,
+    };
+    let result = run_program(shared, act, &mut cctx, &mdef.body);
+
+    let mut c = lock(shared);
+    debug_assert_eq!(c.activities[act].stack.last(), Some(&child));
+    c.activities[act].stack.pop();
+    result?;
+    if c.is_interrupted(ctx.top) {
+        return Err(Interrupt);
+    }
+    // The child finished its program: certify and commit it (nested commit;
+    // N2PL inherits locks to the parent here, certifiers validate).
+    let decision = with_sched(&mut c, &shared.base, |s, v| s.certify_commit(child, v));
+    if let Decision::Abort(reason) = decision {
+        drop(c);
+        process_abort(shared, ctx.top, reason, false);
+        return Err(Interrupt);
+    }
+    with_sched(&mut c, &shared.base, |s, v| s.on_commit(child, v));
+    c.execs[child.index()].live = false;
+    c.builder.complete_invoke(msg, cctx.last.clone());
+    c.bump();
+    drop(c);
+    shared.cv.notify_all();
+    Ok(cctx.last)
+}
+
+fn commit_top_level(shared: &Shared, top: ExecId) {
+    let mut c = lock(shared);
+    if c.is_interrupted(top) {
+        drop(c);
+        handle_interrupt(shared, top);
+        return;
+    }
+    let decision = with_sched(&mut c, &shared.base, |s, v| s.certify_commit(top, v));
+    if let Decision::Abort(reason) = decision {
+        drop(c);
+        process_abort(shared, top, reason, false);
+        return;
+    }
+    with_sched(&mut c, &shared.base, |s, v| s.on_commit(top, v));
+    c.execs[top.index()].live = false;
+    c.execs[top.index()].committed = true;
+    c.metrics.committed += 1;
+    c.bump();
+    drop(c);
+    shared.cv.notify_all();
+}
+
+// ----- gates and blocking ---------------------------------------------------
+
+/// Runs a scheduler request, waiting out `Block` decisions on the condition
+/// variable and re-requesting whenever the control-plane generation moves.
+fn sched_gate(
+    shared: &Shared,
+    act: usize,
+    top: ExecId,
+    request: impl Fn(&mut dyn Scheduler, &ParView) -> Decision,
+) -> Result<(), Interrupt> {
+    loop {
+        let mut c = lock(shared);
+        if c.is_interrupted(top) {
+            return Err(Interrupt);
+        }
+        let decision = with_sched(&mut c, &shared.base, &request);
+        match decision {
+            Decision::Grant => return Ok(()),
+            Decision::Abort(reason) => {
+                drop(c);
+                process_abort(shared, top, reason, false);
+                return Err(Interrupt);
+            }
+            Decision::Block { waiting_for } => {
+                c.metrics.blocked_events += 1;
+                c.activities[act].blocked_on = waiting_for;
+                let seen = c.gen;
+                loop {
+                    c = shared
+                        .cv
+                        .wait_timeout(c, shared.params.monitor_tick)
+                        .expect("a worker panicked while holding the control-plane lock")
+                        .0;
+                    if c.is_interrupted(top) {
+                        c.activities[act].blocked_on.clear();
+                        return Err(Interrupt);
+                    }
+                    if c.gen != seen {
+                        break;
+                    }
+                }
+                c.activities[act].blocked_on.clear();
+            }
+        }
+    }
+}
+
+/// Re-locks the control plane and waits until its generation moves past
+/// `seen` (used when the blocking decision was made while a shard lock was
+/// held, which must be released before sleeping).
+fn wait_for_change(shared: &Shared, act: usize, top: ExecId, seen: u64) -> Result<(), Interrupt> {
+    let mut c = lock(shared);
+    loop {
+        if c.is_interrupted(top) {
+            c.activities[act].blocked_on.clear();
+            return Err(Interrupt);
+        }
+        if c.gen != seen {
+            c.activities[act].blocked_on.clear();
+            return Ok(());
+        }
+        c = shared
+            .cv
+            .wait_timeout(c, shared.params.monitor_tick)
+            .expect("a worker panicked while holding the control-plane lock")
+            .0;
+    }
+}
+
+/// The owning worker noticed its transaction was doomed (or the run is
+/// shutting down): perform the abort it was condemned to.
+fn handle_interrupt(shared: &Shared, top: ExecId) {
+    let verdict = {
+        let c = lock(shared);
+        if c.execs[top.index()].aborted {
+            None // an inline Abort decision already processed it
+        } else if let Some(v) = c.doomed.get(&top) {
+            Some(v.clone())
+        } else {
+            debug_assert!(c.shutdown, "interrupted but neither doomed nor shut down");
+            Some((
+                AbortReason::Other("wall-clock deadline exceeded".into()),
+                false,
+            ))
+        }
+    };
+    if let Some((reason, cascade)) = verdict {
+        process_abort(shared, top, reason, cascade);
+    }
+}
+
+// ----- aborts ---------------------------------------------------------------
+
+/// Aborts a top-level transaction: marks its subtree, undoes its installed
+/// steps shard by shard, releases its scheduler resources, re-enqueues it
+/// (budget permitting) and cascades to dirty readers. Exactly mirrors the
+/// simulator's abort path, except that dirty readers still running on other
+/// workers are doomed (they abort themselves at their next gate) rather than
+/// torn down in place.
+///
+/// Scheduler resources are released only *after* the store undo completes,
+/// so strict schedulers keep dirty state unreachable throughout — the
+/// "strict schedulers never cascade" guarantee carries over to this backend.
+fn process_abort(shared: &Shared, top: ExecId, reason: AbortReason, cascade: bool) {
+    let mut worklist: Vec<(ExecId, AbortReason, bool)> = vec![(top, reason, cascade)];
+    while let Some((t, r, casc)) = worklist.pop() {
+        // Phase 1 (control plane): mark the subtree aborted so no further
+        // steps of it install, and record the abort steps.
+        let subtree = {
+            let mut c = lock(shared);
+            c.doomed.remove(&t);
+            if c.execs[t.index()].aborted {
+                continue;
+            }
+            let subtree = c.subtree_of(t);
+            for &e in &subtree {
+                c.execs[e.index()].aborted = true;
+                c.execs[e.index()].live = false;
+                c.builder.abort(e);
+            }
+            c.metrics.record_abort(&r.to_string());
+            if casc {
+                c.metrics.cascading_aborts += 1;
+            }
+            subtree
+        };
+        // Phase 2 (data plane): undo installed effects while the scheduler
+        // still holds the subtree's locks.
+        let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
+        let (removed, invalidated) = shared.store.undo(&subtree_set);
+        // Phase 3 (control plane): release scheduler resources, schedule the
+        // retry, and cascade to invalidated dirty readers.
+        let mut c = lock(shared);
+        c.metrics.wasted_steps += removed as u64;
+        for &e in subtree.iter().rev() {
+            with_sched(&mut c, &shared.base, |s, v| s.on_abort(e, v));
+        }
+        let was_committed = c.execs[t.index()].committed;
+        if was_committed {
+            // The victim had already committed (only possible with
+            // non-strict schedulers); uncount it.
+            c.execs[t.index()].committed = false;
+            c.metrics.committed = c.metrics.committed.saturating_sub(1);
+        }
+        if let Some((spec, attempt)) = c.execs[t.index()].spec {
+            if attempt < shared.params.max_retries && !c.shutdown {
+                c.queue.push_back(Pending {
+                    spec,
+                    attempt: attempt + 1,
+                });
+                c.metrics.retries += 1;
+            } else {
+                c.metrics.gave_up += 1;
+            }
+        }
+        for e in invalidated {
+            let it = c.top_of(e);
+            if c.execs[it.index()].aborted || c.doomed.contains_key(&it) {
+                continue;
+            }
+            if c.execs[it.index()].committed {
+                // No worker owns a committed transaction any more: this
+                // thread processes the cascade itself.
+                worklist.push((it, AbortReason::CascadingDirtyRead, true));
+            } else {
+                // Still running on some worker: condemn it and let its owner
+                // unwind and abort it at the next gate.
+                c.doomed.insert(it, (AbortReason::CascadingDirtyRead, true));
+            }
+        }
+        c.bump();
+        drop(c);
+        shared.cv.notify_all();
+    }
+}
+
+// ----- the monitor ----------------------------------------------------------
+
+/// The deadlock/deadline ticker: on every tick (or control-plane wakeup) it
+/// rebuilds the waits-for graph from the registered activities (stack edges
+/// for parents waiting on invoked children, blocked edges from scheduler
+/// `Block` decisions), dooms the youngest execution's transaction on any
+/// cycle, and enforces the wall-clock deadline. Exits on its own once the
+/// run settles so teardown does not wait out a tick.
+fn monitor_loop(shared: &Shared, done: &AtomicBool, started: Instant) {
+    let mut c = lock(shared);
+    loop {
+        if done.load(Ordering::Acquire) || (c.queue.is_empty() && c.running == 0) {
+            return;
+        }
+        if !c.shutdown && started.elapsed() > shared.params.deadline {
+            c.shutdown = true;
+            c.metrics.timed_out = true;
+            c.queue.clear();
+            c.bump();
+            shared.cv.notify_all();
+        } else if let Some(victim) = deadlock_victim(&c) {
+            c.metrics.deadlocks += 1;
+            c.doomed.insert(victim, (AbortReason::Deadlock, false));
+            c.bump();
+            shared.cv.notify_all();
+        }
+        c = shared
+            .cv
+            .wait_timeout(c, shared.params.monitor_tick)
+            .expect("a worker panicked while holding the control-plane lock")
+            .0;
+    }
+}
+
+/// Scans the registered activities for a waits-for cycle and returns the
+/// top-level transaction of its youngest execution (the same victim rule as
+/// the simulator), or `None` if nothing is blocked or no cycle exists.
+fn deadlock_victim(c: &Central) -> Option<ExecId> {
+    // Cheap pre-check: cycles need at least one blocked edge.
+    if c.activities
+        .iter()
+        .all(|a| !a.active || a.blocked_on.is_empty())
+    {
+        return None;
+    }
+    let mut g: DiGraph<ExecId> = DiGraph::new();
+    for a in c.activities.iter().filter(|a| a.active) {
+        for w in a.stack.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let Some(&holder) = a.stack.last() else {
+            continue;
+        };
+        for &owner in &a.blocked_on {
+            if owner == holder || owner.index() >= c.execs.len() {
+                continue;
+            }
+            g.add_edge(holder, owner);
+        }
+    }
+    let cycle = g.find_cycle()?;
+    let victim_exec = cycle.into_iter().max().expect("cycles are non-empty");
+    let victim = c.top_of(victim_exec);
+    let info = &c.execs[victim.index()];
+    if info.aborted || info.committed || c.doomed.contains_key(&victim) {
+        return None;
+    }
+    Some(victim)
+}

@@ -18,6 +18,8 @@ pub enum ConfigError {
     ZeroClients,
     /// `max_rounds` was zero: the engine could never take a step.
     ZeroMaxRounds,
+    /// A parallel backend with zero workers: no transaction could ever run.
+    ZeroWorkers,
     /// A `Mixed` spec with neither a default intra-object policy nor any
     /// per-object policy. Use [`SchedulerSpec::SgtCertifier`] for pure
     /// commit-time certification.
@@ -44,6 +46,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroClients => write!(f, "clients must be at least 1"),
             ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be at least 1"),
+            ConfigError::ZeroWorkers => {
+                write!(f, "the parallel backend needs at least 1 worker")
+            }
             ConfigError::EmptyMixedSpec => write!(
                 f,
                 "mixed spec has no intra-object policies; use SgtCertifier for \

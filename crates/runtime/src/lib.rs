@@ -55,10 +55,11 @@ pub mod spec;
 pub use error::{ConfigError, RuntimeError, TheoryViolation};
 pub use registry::{SchedulerFactory, SchedulerRegistry};
 pub use report::{Faceoff, RunReport, TheoryChecks};
-pub use runtime::{Runtime, RuntimeBuilder, Verify};
+pub use runtime::{ExecutionBackend, Runtime, RuntimeBuilder, Verify};
 pub use spec::SchedulerSpec;
 
 // Re-export the enums scheduler specs are parameterised by, so spec authors
 // need only this crate.
 pub use obase_lock::{FlatMode, LockGranularity};
+pub use obase_par::ParParams;
 pub use obase_tso::NtoStyle;

@@ -160,8 +160,9 @@ impl RunReport {
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}: committed {}/{} in {} rounds ({} aborts, {} blocked, throughput {:.3}{})",
+            "{} [{}]: committed {}/{} in {} rounds ({} aborts, {} blocked, throughput {:.3}{})",
             self.scheduler,
+            self.metrics.backend,
             self.metrics.committed,
             self.metrics.submitted,
             self.metrics.rounds,
@@ -232,13 +233,14 @@ impl Faceoff {
     /// Renders the comparison as a Markdown table.
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "| scheduler | committed | aborts | blocked | rounds | throughput | verified |\n\
-             |---|---|---|---|---|---|---|\n",
+            "| scheduler | backend | committed | aborts | blocked | rounds | throughput | verified |\n\
+             |---|---|---|---|---|---|---|---|\n",
         );
         for r in &self.reports {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {:.3} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {:.3} | {} |\n",
                 r.scheduler,
+                r.metrics.backend,
                 r.metrics.committed,
                 r.metrics.aborts,
                 r.metrics.blocked_events,

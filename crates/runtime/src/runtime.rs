@@ -31,8 +31,43 @@ use crate::registry::SchedulerRegistry;
 use crate::report::{Faceoff, RunReport};
 use crate::spec::SchedulerSpec;
 use obase_core::ids::ObjectId;
+use obase_core::sched::Scheduler;
 use obase_exec::engine::{execute, ExecParams};
-use obase_exec::{ObjRef, Program, WorkloadSpec};
+use obase_exec::{ObjRef, Program, RunResult, WorkloadSpec};
+use obase_par::ParParams;
+
+/// Which engine executes a run.
+///
+/// Both backends drive the same [`Scheduler`](obase_core::sched::Scheduler)
+/// contract and produce the same artefacts (history, metrics, theory
+/// checks), so any [`SchedulerSpec`] runs unchanged on either.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionBackend {
+    /// The deterministic interleaving simulator (`obase-exec`): one logical
+    /// processor per activity on a virtual round clock, exactly reproducible
+    /// from the seed.
+    #[default]
+    Simulated,
+    /// The multi-threaded wall-clock engine (`obase-par`): top-level
+    /// transactions on a pool of OS worker threads over a sharded object
+    /// store, with real blocking and a deadlock-breaking monitor. Runs are
+    /// *not* deterministic; their histories are verified by the same theory
+    /// checks instead.
+    Parallel {
+        /// Worker threads (also the inter-transaction concurrency cap).
+        workers: usize,
+    },
+}
+
+impl ExecutionBackend {
+    /// A short label ("simulated", "parallel(8)") for reports and tables.
+    pub fn label(&self) -> String {
+        match self {
+            ExecutionBackend::Simulated => "simulated".to_owned(),
+            ExecutionBackend::Parallel { workers } => format!("parallel({workers})"),
+        }
+    }
+}
 
 /// How much post-hoc theory checking a [`RunReport`] performs.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -59,6 +94,7 @@ pub struct Runtime {
     spec: SchedulerSpec,
     registry: SchedulerRegistry,
     params: ExecParams,
+    backend: ExecutionBackend,
     verify: Verify,
 }
 
@@ -78,20 +114,40 @@ impl Runtime {
         self.verify
     }
 
-    /// Executes a workload and returns its verified report.
+    /// The configured execution backend.
+    pub fn backend(&self) -> ExecutionBackend {
+        self.backend
+    }
+
+    fn dispatch(&self, workload: &WorkloadSpec, scheduler: Box<dyn Scheduler>) -> RunResult {
+        match self.backend {
+            ExecutionBackend::Simulated => {
+                let mut scheduler = scheduler;
+                execute(workload, scheduler.as_mut(), &self.params)
+            }
+            ExecutionBackend::Parallel { workers } => obase_par::execute_parallel(
+                workload,
+                scheduler,
+                &ParParams::from_exec(&self.params, workers),
+            ),
+        }
+    }
+
+    /// Executes a workload on the configured backend and returns its
+    /// verified report.
     ///
     /// The workload is validated first (methods exist, arities match,
     /// top-level transactions issue no local operations) so malformed
     /// workloads surface as typed errors instead of mid-run panics.
     pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
         validate_workload(workload)?;
-        let mut scheduler = self.registry.instantiate(&self.spec)?;
-        let result = execute(workload, scheduler.as_mut(), &self.params);
+        let scheduler = self.registry.instantiate(&self.spec)?;
+        let result = self.dispatch(workload, scheduler);
         Ok(RunReport::new(self.spec.clone(), result, self.verify))
     }
 
     /// Runs the same workload under each spec (with this runtime's engine
-    /// parameters and verification level) and lines the reports up.
+    /// parameters, backend and verification level) and lines the reports up.
     pub fn compare(
         &self,
         workload: &WorkloadSpec,
@@ -100,8 +156,8 @@ impl Runtime {
         validate_workload(workload)?;
         let mut reports = Vec::with_capacity(specs.len());
         for spec in specs {
-            let mut scheduler = self.registry.instantiate(spec)?;
-            let result = execute(workload, scheduler.as_mut(), &self.params);
+            let scheduler = self.registry.instantiate(spec)?;
+            let result = self.dispatch(workload, scheduler);
             reports.push(RunReport::new(spec.clone(), result, self.verify));
         }
         Ok(Faceoff::new(reports))
@@ -133,6 +189,7 @@ pub struct RuntimeBuilder {
     spec: Option<SchedulerSpec>,
     registry: SchedulerRegistry,
     params: ExecParams,
+    backend: ExecutionBackend,
     verify: Verify,
 }
 
@@ -171,6 +228,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the execution backend (default [`ExecutionBackend::Simulated`]).
+    ///
+    /// [`ExecutionBackend::Parallel`] executes on real OS threads: `seed`
+    /// and `max_rounds` do not apply to it (runs are non-deterministic and
+    /// bounded by a wall-clock deadline instead), while `retries` carries
+    /// over and `workers` replaces `clients` as the concurrency cap.
+    pub fn backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Sets the verification level reports are built with (default
     /// [`Verify::Quick`]).
     pub fn verify(mut self, verify: Verify) -> Self {
@@ -197,12 +265,16 @@ impl RuntimeBuilder {
         if self.params.max_rounds == 0 {
             return Err(ConfigError::ZeroMaxRounds);
         }
+        if let ExecutionBackend::Parallel { workers: 0 } = self.backend {
+            return Err(ConfigError::ZeroWorkers);
+        }
         // Dry-run instantiation so bad specs fail at build time, not per run.
         let _ = self.registry.instantiate(&spec)?;
         Ok(Runtime {
             spec,
             registry: self.registry,
             params: self.params,
+            backend: self.backend,
             verify: self.verify,
         })
     }

@@ -11,10 +11,8 @@
 //!
 //! This facade crate re-exports the workspace crates:
 //!
-//! * [`runtime`] — the unified entry point: declarative
-//!   [`SchedulerSpec`](runtime::SchedulerSpec)s, the fluent
-//!   [`Runtime`](runtime::Runtime) builder and verified
-//!   [`RunReport`](runtime::RunReport)s;
+//! * [`runtime`] — the unified entry point: declarative [`SchedulerSpec`]s,
+//!   the fluent [`Runtime`] builder and verified [`RunReport`]s;
 //! * [`core`] — the formal model (histories, conflicts, serialisation
 //!   graphs, Theorems 1, 2 and 5);
 //! * [`adt`] — semantic object types (registers, counters, accounts, sets,
@@ -25,6 +23,9 @@
 //! * [`occ`] — the optimistic serialisation-graph certifier;
 //! * [`exec`] — transaction programs, the interleaving engine and the mixed
 //!   per-object scheduler;
+//! * [`par`] — the multi-threaded wall-clock backend (worker pool, sharded
+//!   object store, real blocking), selected with
+//!   [`ExecutionBackend::Parallel`];
 //! * [`workload`] — seeded workload generators.
 //!
 //! ## Quickstart
@@ -78,12 +79,13 @@ pub use obase_core as core;
 pub use obase_exec as exec;
 pub use obase_lock as lock;
 pub use obase_occ as occ;
+pub use obase_par as par;
 pub use obase_runtime as runtime;
 pub use obase_tso as tso;
 pub use obase_workload as workload;
 
 #[doc(inline)]
-pub use obase_runtime::{RunReport, Runtime, SchedulerSpec, Verify};
+pub use obase_runtime::{ExecutionBackend, RunReport, Runtime, SchedulerSpec, Verify};
 
 /// Commonly used items across the workspace.
 ///
@@ -96,8 +98,8 @@ pub mod prelude {
         Expr, MethodDef, ObjectBaseDef, Program, RunMetrics, TxnSpec, WorkloadSpec,
     };
     pub use obase_runtime::{
-        ConfigError, Faceoff, FlatMode, LockGranularity, NtoStyle, RunReport, Runtime,
-        RuntimeBuilder, RuntimeError, SchedulerRegistry, SchedulerSpec, TheoryChecks,
+        ConfigError, ExecutionBackend, Faceoff, FlatMode, LockGranularity, NtoStyle, RunReport,
+        Runtime, RuntimeBuilder, RuntimeError, SchedulerRegistry, SchedulerSpec, TheoryChecks,
         TheoryViolation, Verify,
     };
 }

@@ -1,0 +1,183 @@
+//! Backend equivalence: the serialisability oracle over the parallel engine.
+//!
+//! Parallel runs are not reproducible — the OS scheduler interleaves the
+//! workers — so they cannot be compared to the simulator step by step. What
+//! must hold instead is the paper's contract: *every* history a correct
+//! scheduler admits, on either backend, is legal (Definition 6), has an
+//! acyclic serialisation graph with a verified serial witness (Theorem 2)
+//! and satisfies the per-object condition (Theorem 5). This suite hammers
+//! the multi-threaded backend with seeded workloads under every built-in
+//! scheduler spec and holds each run to that oracle, and additionally
+//! asserts that strict schedulers never cascade-abort (their locks are
+//! released only after undo completes).
+
+use obase::prelude::*;
+use obase::workload as wl;
+
+/// Seeded workload variety: banking (nested transfers + audits), counters
+/// (commuting hotspot) and dictionaries (reads/inserts/deletes), rotated by
+/// seed so the oracle sees different shapes and contention levels.
+fn workload_for(seed: u64) -> WorkloadSpec {
+    match seed % 3 {
+        0 => wl::banking(&wl::BankingParams {
+            accounts: 4,
+            transactions: 8,
+            skew: 0.8,
+            seed,
+            ..Default::default()
+        }),
+        1 => wl::counters(&wl::CounterParams {
+            counters: 2,
+            transactions: 8,
+            touches_per_txn: 2,
+            read_fraction: 0.3,
+            skew: 0.9,
+            seed,
+        }),
+        _ => wl::dictionary(&wl::DictionaryParams {
+            dictionaries: 2,
+            keys: 6,
+            transactions: 8,
+            ops_per_txn: 2,
+            lookup_fraction: 0.4,
+            key_skew: 0.7,
+            seed,
+        }),
+    }
+}
+
+fn parallel_runtime(spec: SchedulerSpec, workers: usize) -> Runtime {
+    Runtime::builder()
+        .scheduler(spec)
+        .backend(ExecutionBackend::Parallel { workers })
+        .retries(64)
+        .verify(Verify::Full)
+        .build()
+        .expect("valid parallel configuration")
+}
+
+/// `true` for schedulers that hold every resource to top-level commit and
+/// must therefore never observe (or produce) a cascading abort.
+fn is_strict(spec: &SchedulerSpec) -> bool {
+    matches!(
+        spec,
+        SchedulerSpec::Flat { .. } | SchedulerSpec::N2pl { .. }
+    )
+}
+
+/// The acceptance gate: 100 seeds × every built-in spec (plus the mixed
+/// composition) on 4 workers, every history past the full oracle.
+#[test]
+fn hundred_seed_oracle_over_all_builtin_specs() {
+    let mut specs = SchedulerSpec::all_basic();
+    specs.push(SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()));
+    let mut runs = 0usize;
+    for seed in 0..100u64 {
+        let workload = workload_for(seed);
+        for spec in &specs {
+            let report = parallel_runtime(spec.clone(), 4)
+                .run(&workload)
+                .expect("well-formed generated workload");
+            assert!(
+                !report.metrics.timed_out,
+                "{} deadlined on seed {seed}",
+                report.scheduler
+            );
+            report.assert_serialisable();
+            if is_strict(spec) {
+                assert_eq!(
+                    report.metrics.cascading_aborts, 0,
+                    "strict scheduler {} cascaded on seed {seed}",
+                    report.scheduler
+                );
+            }
+            runs += 1;
+        }
+    }
+    assert_eq!(runs, 100 * specs.len());
+}
+
+/// Strict blocking schedulers must settle every transaction (deadlock
+/// victims retry until they commit), and the committed effects must replay
+/// to the same final state the simulator reaches — counters commute, so the
+/// end state is interleaving-independent.
+#[test]
+fn strict_schedulers_commit_everything_with_equivalent_effects() {
+    for seed in [3u64, 7, 11, 19] {
+        let workload = wl::counters(&wl::CounterParams {
+            counters: 3,
+            transactions: 10,
+            touches_per_txn: 2,
+            read_fraction: 0.0, // writes only: the final state is seed-determined
+            skew: 0.5,
+            seed,
+        });
+        let simulated = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .seed(seed)
+            .verify(Verify::Full)
+            .build()
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+        let parallel = parallel_runtime(SchedulerSpec::n2pl_operation(), 4)
+            .run(&workload)
+            .unwrap();
+        for report in [&simulated, &parallel] {
+            assert_eq!(report.metrics.committed, 10, "{}", report.summary());
+            report.assert_serialisable();
+        }
+        let a = obase::core::replay::final_states(&simulated.history).unwrap();
+        let b = obase::core::replay::final_states(&parallel.history).unwrap();
+        assert_eq!(a, b, "backends disagree on final states for seed {seed}");
+    }
+}
+
+/// The parallel backend honours worker counts beyond the acceptance minimum
+/// and reports them in the metrics.
+#[test]
+fn worker_scaling_is_safe() {
+    let workload = workload_for(42);
+    for workers in [1usize, 2, 8] {
+        let report = parallel_runtime(SchedulerSpec::n2pl_step(), workers)
+            .run(&workload)
+            .unwrap();
+        assert_eq!(report.metrics.backend, format!("parallel({workers})"));
+        assert!(report.metrics.wall_micros > 0);
+        report.assert_serialisable();
+    }
+}
+
+/// Internal (Par) parallelism rides on real threads inside one transaction;
+/// the oracle still holds and nothing deadlocks against the siblings.
+#[test]
+fn internal_parallelism_on_real_threads() {
+    for seed in 0..8u64 {
+        let workload = wl::orders(&wl::OrdersParams {
+            desks: 2,
+            inventories: 4,
+            accounts: 4,
+            transactions: 6,
+            items_per_order: 4,
+            parallel_items: true,
+            seed,
+        });
+        let report = parallel_runtime(SchedulerSpec::n2pl_operation(), 4)
+            .run(&workload)
+            .unwrap();
+        assert!(!report.metrics.timed_out);
+        report.assert_serialisable();
+        assert_eq!(report.metrics.cascading_aborts, 0);
+    }
+}
+
+/// Zero workers is a configuration error, caught at build time.
+#[test]
+fn zero_workers_is_rejected() {
+    let err = Runtime::builder()
+        .scheduler(SchedulerSpec::n2pl_step())
+        .backend(ExecutionBackend::Parallel { workers: 0 })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroWorkers);
+}

@@ -54,6 +54,36 @@ fn banking_under_every_scheduler_is_serialisable() {
 }
 
 #[test]
+fn banking_under_every_scheduler_on_the_parallel_backend() {
+    // The same end-to-end gauntlet on the multi-threaded backend: real
+    // threads, real blocking, same theorems (the dedicated 100-seed oracle
+    // lives in tests/backend_equivalence.rs).
+    let workload = wl::banking(&wl::BankingParams {
+        accounts: 6,
+        transactions: 24,
+        skew: 0.6,
+        ..Default::default()
+    });
+    for spec in specs() {
+        let report = Runtime::builder()
+            .scheduler(spec)
+            .backend(ExecutionBackend::Parallel { workers: 4 })
+            .retries(64)
+            .verify(Verify::Full)
+            .build()
+            .expect("valid configuration")
+            .run(&workload)
+            .unwrap();
+        verify(&report);
+        assert!(
+            report.metrics.committed + report.metrics.gave_up == 24,
+            "{}: every transaction either commits or exhausts its retries",
+            report.scheduler
+        );
+    }
+}
+
+#[test]
 fn counters_under_every_scheduler_preserve_the_sum() {
     let workload = wl::counters(&wl::CounterParams {
         counters: 4,

@@ -163,6 +163,34 @@ fn n2pl_runs_are_always_serialisable() {
     }
 }
 
+/// Theorem 3 holds on genuinely concurrent executions too: the same N2PL
+/// property over the multi-threaded backend, where the interleaving comes
+/// from the OS scheduler instead of a seed.
+#[test]
+fn n2pl_parallel_runs_are_always_serialisable() {
+    let wl = obase::workload::banking(&obase::workload::BankingParams {
+        accounts: 3,
+        transactions: 8,
+        skew: 1.0,
+        ..Default::default()
+    });
+    for round in 0..24 {
+        let report = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .backend(ExecutionBackend::Parallel { workers: 4 })
+            .retries(64)
+            .build()
+            .unwrap()
+            .run(&wl)
+            .unwrap();
+        assert!(
+            obase::core::sg::certifies_serialisable(&report.history),
+            "round {round}"
+        );
+        assert_eq!(report.metrics.cascading_aborts, 0, "round {round}");
+    }
+}
+
 /// Same for nested timestamp ordering (the executable Theorem 4).
 #[test]
 fn nto_runs_are_always_serialisable() {
