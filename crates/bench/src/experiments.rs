@@ -6,13 +6,18 @@ use obase_ser::Json;
 use obase_workload as wl;
 use std::collections::BTreeMap;
 
-/// One row of an experiment table: a label plus named numeric columns.
+/// One row of an experiment table: a label plus named numeric columns, and
+/// optionally named histograms (nested key → count maps, e.g. abort counts
+/// by [`AbortReason`](obase_core::sched::AbortReason) variant).
 #[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (e.g. the scheduler or the swept parameter value).
     pub label: String,
     /// Named measurements, in insertion order of the experiment.
     pub values: BTreeMap<String, f64>,
+    /// Named histograms, rendered as nested JSON objects (not as table
+    /// columns).
+    pub histograms: BTreeMap<String, BTreeMap<String, f64>>,
 }
 
 impl Row {
@@ -21,6 +26,7 @@ impl Row {
         Row {
             label: label.into(),
             values: BTreeMap::new(),
+            histograms: BTreeMap::new(),
         }
     }
 
@@ -30,22 +36,61 @@ impl Row {
         self
     }
 
-    /// Renders the row as a JSON object (`label` plus one number per
-    /// column).
+    /// Adds a histogram (e.g. abort counts keyed by reason variant).
+    pub fn with_histogram(
+        mut self,
+        key: &str,
+        counts: impl IntoIterator<Item = (String, f64)>,
+    ) -> Self {
+        self.histograms
+            .insert(key.to_owned(), counts.into_iter().collect());
+        self
+    }
+
+    /// Renders the row as a JSON object: `label`, one number per column,
+    /// and one nested object per histogram.
     pub fn to_json(&self) -> Json {
         let mut obj: BTreeMap<String, Json> = BTreeMap::new();
         obj.insert("label".to_owned(), Json::str(&self.label));
         for (k, v) in &self.values {
             obj.insert(k.clone(), Json::Float(*v));
         }
+        for (k, hist) in &self.histograms {
+            obj.insert(
+                k.clone(),
+                Json::Object(
+                    hist.iter()
+                        .map(|(reason, n)| (reason.clone(), Json::Float(*n)))
+                        .collect(),
+                ),
+            );
+        }
         Json::Object(obj)
     }
 }
 
+/// Sums equally named histograms across rows (the per-experiment aggregate
+/// recorded next to the rows in `BENCH_results.json`).
+fn aggregate_histograms(rows: &[Row]) -> BTreeMap<String, BTreeMap<String, f64>> {
+    let mut agg: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for row in rows {
+        for (key, hist) in &row.histograms {
+            let bucket = agg.entry(key.clone()).or_default();
+            for (reason, n) in hist {
+                *bucket.entry(reason.clone()).or_default() += n;
+            }
+        }
+    }
+    agg
+}
+
 /// Renders a set of finished experiments as the `BENCH_results.json`
-/// document: one entry per experiment keyed by its id, carrying the title
-/// and every row with its measurements (throughput, makespan, abort counts,
-/// wall-clock time where measured).
+/// document: one entry per experiment keyed by its id, carrying the title,
+/// every row with its measurements (throughput, makespan, abort counts,
+/// wall-clock time where measured) and — wherever rows record histograms —
+/// a per-experiment aggregate (e.g. `aborts_by_reason`, summed over rows),
+/// so the bench trajectory captures *why* schedulers abort, not just how
+/// often.
 pub fn results_json(results: &[(&str, &str, Vec<Row>)]) -> Json {
     let mut doc: BTreeMap<String, Json> = BTreeMap::new();
     for (key, title, rows) in results {
@@ -55,6 +100,16 @@ pub fn results_json(results: &[(&str, &str, Vec<Row>)]) -> Json {
             "rows".to_owned(),
             Json::Array(rows.iter().map(Row::to_json).collect()),
         );
+        for (hkey, hist) in aggregate_histograms(rows) {
+            entry.insert(
+                hkey,
+                Json::Object(
+                    hist.into_iter()
+                        .map(|(reason, n)| (reason, Json::Float(n)))
+                        .collect(),
+                ),
+            );
+        }
         doc.insert((*key).to_owned(), Json::Object(entry));
     }
     Json::Object(doc)
@@ -116,6 +171,14 @@ fn run_and_check(
     report.metrics
 }
 
+/// The histogram entry every metrics-carrying row records: abort counts
+/// keyed by `AbortReason` variant.
+fn abort_reasons(m: &RunMetrics) -> impl IntoIterator<Item = (String, f64)> + '_ {
+    m.aborts_by_reason
+        .iter()
+        .map(|(reason, n)| (reason.clone(), *n as f64))
+}
+
 fn metrics_row(label: &str, m: &RunMetrics) -> Row {
     Row::new(label)
         .with("committed", m.committed as f64)
@@ -125,6 +188,7 @@ fn metrics_row(label: &str, m: &RunMetrics) -> Row {
         .with("rounds", m.rounds as f64)
         .with("throughput", m.throughput())
         .with("wall_ms", m.wall_micros as f64 / 1000.0)
+        .with_histogram("aborts_by_reason", abort_reasons(m))
 }
 
 /// E1 — flat (object-as-data-item) baseline vs nested schedulers across
@@ -457,7 +521,8 @@ pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
                     .with("aborts", m.aborts as f64)
                     .with("abort_rate", m.abort_ratio())
                     .with("wall_ms", m.wall_micros as f64 / 1000.0)
-                    .with("txn_per_sec", m.wall_throughput()),
+                    .with("txn_per_sec", m.wall_throughput())
+                    .with_histogram("aborts_by_reason", abort_reasons(m)),
             );
         }
     }
@@ -528,5 +593,60 @@ mod tests {
         assert_eq!(entry.get("title").and_then(Json::as_str), Some("demo"));
         let row = entry.get("rows").unwrap().as_array().unwrap()[0].clone();
         assert_eq!(row.get("label").and_then(Json::as_str), Some("a"));
+    }
+
+    #[test]
+    fn abort_histograms_reach_rows_and_experiment_aggregates() {
+        let rows = vec![
+            Row::new("a").with("aborts", 3.0).with_histogram(
+                "aborts_by_reason",
+                [("deadlock".to_owned(), 2.0), ("other".to_owned(), 1.0)],
+            ),
+            Row::new("b")
+                .with("aborts", 1.0)
+                .with_histogram("aborts_by_reason", [("deadlock".to_owned(), 1.0)]),
+        ];
+        let doc = results_json(&[("e0", "demo", rows)]);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        let entry = back.get("e0").unwrap();
+        // Per-row histogram survives the round trip...
+        let row = entry.get("rows").unwrap().as_array().unwrap()[0].clone();
+        let hist = row.get("aborts_by_reason").unwrap();
+        assert_eq!(hist.get("deadlock").and_then(Json::as_float), Some(2.0));
+        // ...and the experiment-level aggregate sums across rows.
+        let agg = entry.get("aborts_by_reason").unwrap();
+        assert_eq!(agg.get("deadlock").and_then(Json::as_float), Some(3.0));
+        assert_eq!(agg.get("other").and_then(Json::as_float), Some(1.0));
+    }
+
+    #[test]
+    fn deadlock_heavy_runs_bucket_aborts_by_variant_key() {
+        // A dictionary hotspot under N2PL deadlocks; every abort must land
+        // in a stable variant bucket and the histogram must sum to the
+        // abort count.
+        let workload = wl::dictionary(&wl::DictionaryParams {
+            dictionaries: 1,
+            keys: 2,
+            transactions: 12,
+            ops_per_txn: 3,
+            lookup_fraction: 0.0,
+            key_skew: 1.5,
+            seed: 9,
+        });
+        let m = run_and_check(&workload, SchedulerSpec::n2pl_operation(), 9, 8);
+        let total: usize = m.aborts_by_reason.values().sum();
+        assert_eq!(total, m.aborts);
+        let known = [
+            "deadlock",
+            "timestamp_order",
+            "certification",
+            "application",
+            "cascading_dirty_read",
+            "never_began",
+            "other",
+        ];
+        for key in m.aborts_by_reason.keys() {
+            assert!(known.contains(&key.as_str()), "unexpected bucket {key}");
+        }
     }
 }

@@ -25,6 +25,10 @@
 //! * **The scheduler interface** used by the concurrency-control crates
 //!   (`obase-lock`, `obase-tso`, `obase-occ`) and the execution engine
 //!   (`obase-exec`): [`sched`].
+//! * **The backend-agnostic lifecycle building blocks** shared by every
+//!   execution backend — the execution registry, the abort/cascade
+//!   resolution loop and the [`lifecycle::ExecutionDriver`] contract:
+//!   [`lifecycle`].
 //!
 //! The crate is purely analytical: it represents and checks executions. The
 //! machinery that *produces* executions (transaction programs, the
@@ -67,6 +71,7 @@ pub mod graph;
 pub mod history;
 pub mod ids;
 pub mod legality;
+pub mod lifecycle;
 pub mod local_graphs;
 pub mod object;
 pub mod op;

@@ -1,0 +1,383 @@
+//! Backend-agnostic transaction-lifecycle building blocks.
+//!
+//! The paper's guarantees (legality, Theorem 2, Theorem 5) must hold for
+//! every history an execution backend produces, whether the backend is the
+//! deterministic interleaving simulator (`obase-exec`) or the multi-threaded
+//! wall-clock engine (`obase-par`). Both backends therefore run the *same*
+//! lifecycle code: a shared registry of method executions ([`ExecTable`]),
+//! one abort/cascade resolution loop ([`resolve_abort`]) and one deadlock
+//! victim rule ([`ExecTable::deadlock_victim`]). What genuinely differs
+//! between backends — locking discipline, store access, how a running victim
+//! is torn down — is captured by the small [`ExecutionDriver`] trait.
+//!
+//! The stateful half of the kernel (history recording, scheduler admission,
+//! retry accounting, metrics) lives in `obase_exec::kernel`, which drives
+//! the pieces defined here; this module holds the parts that only need the
+//! core model.
+
+use crate::graph::DiGraph;
+use crate::ids::{ExecId, ObjectId};
+use crate::object::{ObjectBase, TypeHandle};
+use crate::sched::{AbortReason, TxnView};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The lifecycle state of one method execution, as tracked by every backend.
+///
+/// Backend-specific bookkeeping (the simulator's argument bindings and
+/// resume-thread indices, the parallel engine's activity stacks) lives in
+/// per-backend side tables indexed by the same [`ExecId`].
+#[derive(Clone, Debug)]
+pub struct ExecRecord {
+    /// The invoking execution (`None` for top-level transactions).
+    pub parent: Option<ExecId>,
+    /// The object whose method this execution runs
+    /// ([`ObjectId::ENVIRONMENT`] for top-level transactions).
+    pub object: ObjectId,
+    /// `true` while the execution is neither committed nor aborted.
+    pub live: bool,
+    /// `true` once the execution has been aborted.
+    pub aborted: bool,
+    /// `true` once the execution has committed (tracked for top-level
+    /// transactions, whose commits may later be cascade-reverted by
+    /// non-strict schedulers).
+    pub committed: bool,
+    /// For top-level transactions: the workload spec index and the attempt
+    /// number (0 for the initial submission), used for retry accounting.
+    pub spec: Option<(usize, u32)>,
+    /// Child executions, in invocation order.
+    pub children: Vec<ExecId>,
+}
+
+/// The registry of method executions of one run: every backend's control
+/// plane keeps exactly one, indexed by [`ExecId`] in creation order (which
+/// matches the history builder's numbering).
+#[derive(Debug)]
+pub struct ExecTable {
+    records: Vec<ExecRecord>,
+    base: Arc<ObjectBase>,
+}
+
+impl ExecTable {
+    /// Creates an empty table over the given object base.
+    pub fn new(base: Arc<ObjectBase>) -> Self {
+        ExecTable {
+            records: Vec::new(),
+            base,
+        }
+    }
+
+    /// The object base the executions run against.
+    pub fn base(&self) -> &Arc<ObjectBase> {
+        &self.base
+    }
+
+    /// Number of registered executions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no execution has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Registers the next execution; its id must be allocated by the history
+    /// builder so the two numberings stay aligned (callers debug-assert it).
+    pub fn push(&mut self, record: ExecRecord) {
+        self.records.push(record);
+    }
+
+    /// The record of an execution.
+    pub fn record(&self, e: ExecId) -> &ExecRecord {
+        &self.records[e.index()]
+    }
+
+    /// Mutable access to the record of an execution.
+    pub fn record_mut(&mut self, e: ExecId) -> &mut ExecRecord {
+        &mut self.records[e.index()]
+    }
+
+    /// The top-level ancestor of an execution.
+    pub fn top_of(&self, mut e: ExecId) -> ExecId {
+        while let Some(p) = self.records[e.index()].parent {
+            e = p;
+        }
+        e
+    }
+
+    /// The execution subtree rooted at `root` (root first, then descendants).
+    pub fn subtree_of(&self, root: ExecId) -> Vec<ExecId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            stack.extend(self.records[e.index()].children.iter().copied());
+        }
+        out
+    }
+
+    /// A [`TxnView`] over the current table, for scheduler hooks.
+    pub fn view(&self) -> TableView<'_> {
+        TableView { table: self }
+    }
+
+    /// The shared deadlock victim rule: given a waits-for graph over
+    /// executions, picks the youngest (highest-id) execution on a cycle and
+    /// returns its top-level transaction — unless that transaction is
+    /// already aborted or committed, in which case the apparent cycle is
+    /// stale and `None` is returned.
+    pub fn deadlock_victim(&self, waits_for: &DiGraph<ExecId>) -> Option<ExecId> {
+        let cycle = waits_for.find_cycle()?;
+        let youngest = cycle.into_iter().max().expect("cycles are non-empty");
+        let top = self.top_of(youngest);
+        let record = self.record(top);
+        if record.aborted || record.committed {
+            return None;
+        }
+        Some(top)
+    }
+}
+
+/// [`TxnView`] implementation over an [`ExecTable`] — the one view type both
+/// backends hand to scheduler hooks.
+pub struct TableView<'a> {
+    table: &'a ExecTable,
+}
+
+impl TxnView for TableView<'_> {
+    fn parent(&self, e: ExecId) -> Option<ExecId> {
+        self.table.record(e).parent
+    }
+    fn object_of(&self, e: ExecId) -> ObjectId {
+        self.table.record(e).object
+    }
+    fn type_of(&self, o: ObjectId) -> TypeHandle {
+        self.table.base.type_of(o)
+    }
+    fn is_live(&self, e: ExecId) -> bool {
+        self.table.record(e).live
+    }
+}
+
+/// A top-level transaction that must be cascade-aborted because one of its
+/// executions performed a dirty read of state an abort physically undid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CascadeVictim {
+    /// The top-level transaction to abort.
+    pub top: ExecId,
+    /// `true` if the victim had already committed (only possible under
+    /// non-strict schedulers). A committed victim has no thread of control
+    /// left, so the abort must be resolved inline by whoever discovered it;
+    /// a still-running victim can instead be doomed for its own thread of
+    /// control to unwind.
+    pub committed: bool,
+}
+
+/// What genuinely differs between execution backends in the abort path, as
+/// consumed by the shared resolution loop [`resolve_abort`].
+///
+/// Each hook is a thin wrapper: implementations delegate the lifecycle logic
+/// to `obase_exec::kernel::LifecycleKernel` (marking, scheduler release,
+/// retry accounting, cascade collection) and the store's `undo`, adding only
+/// their own locking discipline and thread-of-control teardown. The contract
+/// that makes strict schedulers cascade-free holds for every implementation:
+/// scheduler resources are released in [`release_aborted`], i.e. only
+/// *after* [`undo_steps`] has removed the dirty state.
+///
+/// [`release_aborted`]: ExecutionDriver::release_aborted
+/// [`undo_steps`]: ExecutionDriver::undo_steps
+pub trait ExecutionDriver {
+    /// Phase 1 (control plane): mark the victim's execution subtree aborted
+    /// so none of its steps install from here on, record the abort steps and
+    /// metrics, and tear down the backend's threads of control for it.
+    /// Returns the subtree, or `None` if the victim was already aborted (the
+    /// shared loop then skips it — aborts are idempotent).
+    fn mark_aborted(
+        &mut self,
+        top: ExecId,
+        reason: &AbortReason,
+        cascade: bool,
+    ) -> Option<Vec<ExecId>>;
+
+    /// Phase 2 (data plane): physically undo every step installed by the
+    /// aborted executions, while the scheduler still holds their resources.
+    /// Returns the number of removed steps and the executions whose
+    /// surviving steps no longer replay — dirty readers.
+    fn undo_steps(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>);
+
+    /// Phase 3 (control plane): release the subtree's scheduler resources
+    /// (children before parents), account the retry, and map the dirty
+    /// readers to cascade victims. Returns the victims this driver wants
+    /// resolved *inline* by the shared loop; victims still running on other
+    /// threads of control may instead be doomed internally (the parallel
+    /// backend) and are then not returned.
+    fn release_aborted(
+        &mut self,
+        top: ExecId,
+        subtree: &[ExecId],
+        removed_steps: usize,
+        invalidated: BTreeSet<ExecId>,
+    ) -> Vec<ExecId>;
+}
+
+/// The shared abort/cascade resolution loop: aborts `top` for `reason` and
+/// keeps resolving cascade victims until none remain. This is the only copy
+/// of the worklist algorithm; both backends call it through their
+/// [`ExecutionDriver`].
+pub fn resolve_abort<D: ExecutionDriver>(
+    driver: &mut D,
+    top: ExecId,
+    reason: AbortReason,
+    cascade: bool,
+) {
+    let mut worklist: Vec<(ExecId, AbortReason, bool)> = vec![(top, reason, cascade)];
+    while let Some((victim, reason, cascade)) = worklist.pop() {
+        let Some(subtree) = driver.mark_aborted(victim, &reason, cascade) else {
+            continue; // already aborted (idempotent)
+        };
+        let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
+        let (removed, invalidated) = driver.undo_steps(&subtree_set);
+        for next in driver.release_aborted(victim, &subtree, removed, invalidated) {
+            worklist.push((next, AbortReason::CascadingDirtyRead, true));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::IntRegister;
+
+    fn table_with_forest() -> ExecTable {
+        // 0 (top) ── 1 ── 2
+        //        └── 3
+        // 4 (top)
+        let mut base = ObjectBase::new();
+        let x = base.add_object("x", Arc::new(IntRegister));
+        let mut t = ExecTable::new(Arc::new(base));
+        let rec = |parent, object| ExecRecord {
+            parent,
+            object,
+            live: true,
+            aborted: false,
+            committed: false,
+            spec: None,
+            children: Vec::new(),
+        };
+        t.push(rec(None, ObjectId::ENVIRONMENT));
+        t.push(rec(Some(ExecId(0)), x));
+        t.push(rec(Some(ExecId(1)), x));
+        t.push(rec(Some(ExecId(0)), x));
+        t.push(rec(None, ObjectId::ENVIRONMENT));
+        t.record_mut(ExecId(0)).children = vec![ExecId(1), ExecId(3)];
+        t.record_mut(ExecId(1)).children = vec![ExecId(2)];
+        t
+    }
+
+    #[test]
+    fn genealogy_and_subtrees() {
+        let t = table_with_forest();
+        assert_eq!(t.top_of(ExecId(2)), ExecId(0));
+        assert_eq!(t.top_of(ExecId(4)), ExecId(4));
+        let mut sub = t.subtree_of(ExecId(0));
+        sub.sort();
+        assert_eq!(sub, vec![ExecId(0), ExecId(1), ExecId(2), ExecId(3)]);
+        assert_eq!(t.subtree_of(ExecId(4)), vec![ExecId(4)]);
+    }
+
+    #[test]
+    fn view_exposes_the_records() {
+        let t = table_with_forest();
+        let v = t.view();
+        assert_eq!(v.parent(ExecId(1)), Some(ExecId(0)));
+        assert!(v.is_live(ExecId(2)));
+        assert_eq!(v.top_level_of(ExecId(2)), ExecId(0));
+        assert!(v.object_of(ExecId(0)).is_environment());
+    }
+
+    #[test]
+    fn deadlock_victim_is_youngest_cycle_members_top() {
+        let t = table_with_forest();
+        let mut g = DiGraph::new();
+        g.add_edge(ExecId(2), ExecId(4));
+        g.add_edge(ExecId(4), ExecId(2));
+        // Youngest on the cycle is 4, itself a top-level transaction.
+        assert_eq!(t.deadlock_victim(&g), Some(ExecId(4)));
+    }
+
+    #[test]
+    fn deadlock_victim_skips_settled_transactions() {
+        let mut t = table_with_forest();
+        let mut g = DiGraph::new();
+        g.add_edge(ExecId(2), ExecId(4));
+        g.add_edge(ExecId(4), ExecId(2));
+        t.record_mut(ExecId(4)).committed = true;
+        assert_eq!(t.deadlock_victim(&g), None);
+        t.record_mut(ExecId(4)).committed = false;
+        t.record_mut(ExecId(4)).aborted = true;
+        assert_eq!(t.deadlock_victim(&g), None);
+        // No cycle at all.
+        let mut acyclic = DiGraph::new();
+        acyclic.add_edge(ExecId(0), ExecId(4));
+        assert_eq!(t.deadlock_victim(&acyclic), None);
+    }
+
+    #[test]
+    fn resolve_abort_drains_cascades_and_skips_duplicates() {
+        // A scripted driver: aborting A invalidates a reader whose top is B;
+        // B's release produces no further victims. A second report of B must
+        // be skipped by the idempotence check.
+        struct Script {
+            aborted: BTreeSet<ExecId>,
+            marks: Vec<ExecId>,
+            undone: Vec<BTreeSet<ExecId>>,
+            released: Vec<ExecId>,
+        }
+        impl ExecutionDriver for Script {
+            fn mark_aborted(
+                &mut self,
+                top: ExecId,
+                _reason: &AbortReason,
+                _cascade: bool,
+            ) -> Option<Vec<ExecId>> {
+                if !self.aborted.insert(top) {
+                    return None;
+                }
+                self.marks.push(top);
+                Some(vec![top])
+            }
+            fn undo_steps(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>) {
+                self.undone.push(aborted.clone());
+                if aborted.contains(&ExecId(0)) {
+                    // Two dirty readers, both inside top-level 7.
+                    (2, [ExecId(8), ExecId(9)].into_iter().collect())
+                } else {
+                    (0, BTreeSet::new())
+                }
+            }
+            fn release_aborted(
+                &mut self,
+                top: ExecId,
+                _subtree: &[ExecId],
+                _removed: usize,
+                invalidated: BTreeSet<ExecId>,
+            ) -> Vec<ExecId> {
+                self.released.push(top);
+                // Both readers map to top-level 7 (duplicates on purpose).
+                invalidated.iter().map(|_| ExecId(7)).collect()
+            }
+        }
+        let mut d = Script {
+            aborted: BTreeSet::new(),
+            marks: Vec::new(),
+            undone: Vec::new(),
+            released: Vec::new(),
+        };
+        resolve_abort(&mut d, ExecId(0), AbortReason::Deadlock, false);
+        assert_eq!(d.marks, vec![ExecId(0), ExecId(7)]);
+        assert_eq!(d.released, vec![ExecId(0), ExecId(7)]);
+        // Undo ran once per *marked* victim, not per duplicate report.
+        assert_eq!(d.undone.len(), 2);
+    }
+}

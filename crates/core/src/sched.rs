@@ -35,6 +35,26 @@ pub enum AbortReason {
     Other(String),
 }
 
+impl AbortReason {
+    /// A stable snake_case key naming the variant, used to bucket abort
+    /// histograms in metrics and bench output. Unlike [`Display`], every
+    /// `Other(..)` reason maps to the single key `"other"` so histograms
+    /// stay bounded.
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn key(&self) -> &'static str {
+        match self {
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::TimestampOrder => "timestamp_order",
+            AbortReason::Certification => "certification",
+            AbortReason::Application => "application",
+            AbortReason::CascadingDirtyRead => "cascading_dirty_read",
+            AbortReason::NeverBegan => "never_began",
+            AbortReason::Other(_) => "other",
+        }
+    }
+}
+
 impl std::fmt::Display for AbortReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -321,6 +341,19 @@ mod tests {
             "cascading dirty read"
         );
         assert_eq!(AbortReason::Other("custom".into()).to_string(), "custom");
+    }
+
+    #[test]
+    fn abort_reason_keys_are_stable_and_bounded() {
+        assert_eq!(AbortReason::Deadlock.key(), "deadlock");
+        assert_eq!(AbortReason::TimestampOrder.key(), "timestamp_order");
+        assert_eq!(
+            AbortReason::CascadingDirtyRead.key(),
+            "cascading_dirty_read"
+        );
+        // Every free-form reason buckets to one key.
+        assert_eq!(AbortReason::Other("deadline".into()).key(), "other");
+        assert_eq!(AbortReason::Other("anything".into()).key(), "other");
     }
 
     #[test]

@@ -7,8 +7,21 @@
 //! adversarial but reproducible). Blocking decisions cost rounds; the number
 //! of rounds until all transactions settle is the run's makespan, and
 //! committed-transactions-per-round is the throughput proxy the experiments
-//! report. Every run records a full [`History`] which can be checked against
-//! the core theory (Theorems 2 and 5) after the fact.
+//! report. Every run records a full [`History`](obase_core::history::History)
+//! which can be checked against the core theory (Theorems 2 and 5) after the
+//! fact.
+//!
+//! ## This engine is a driver
+//!
+//! All lifecycle logic — scheduler admission, history and metrics recording,
+//! commit certification, abort marking/undo-ordering/cascades, retry
+//! accounting — lives in the shared [`kernel`](crate::kernel), which the
+//! multi-threaded backend (`obase-par`) drives too. This module contributes
+//! only what is specific to the *simulated* machine: the virtual round
+//! clock, the explicit thread-of-control table (frames, `Par` fan-out,
+//! resume-on-child-commit), the single-threaded [`ObjectStore`], and a
+//! per-round deadlock sweep. Aborts run through the one shared loop
+//! ([`resolve_abort`]) via this engine's [`ExecutionDriver`] implementation.
 //!
 //! ## Aborts and retries
 //!
@@ -20,20 +33,19 @@
 //! cascade-aborted. Strict schedulers (N2PL, the flat baseline) never cascade
 //! — integration tests assert this.
 
-use crate::metrics::RunMetrics;
+use crate::kernel::LifecycleKernel;
 use crate::program::{Expr, ObjRef, Program, WorkloadSpec};
 use crate::store::ObjectStore;
-use obase_core::builder::HistoryBuilder;
 use obase_core::graph::DiGraph;
-use obase_core::history::History;
-use obase_core::ids::{ExecId, ObjectId, StepId};
-use obase_core::object::{ObjectBase, TypeHandle};
+use obase_core::ids::{ExecId, StepId};
+use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
 use obase_core::op::{LocalStep, Operation};
-use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
+use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
 use obase_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
-use std::collections::{BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::collections::BTreeSet;
+
+pub use crate::kernel::RunResult;
 
 /// Low-level engine parameters.
 ///
@@ -63,21 +75,6 @@ impl Default for ExecParams {
     }
 }
 
-/// The outcome of an engine run.
-#[derive(Debug)]
-pub struct RunResult {
-    /// The committed projection of the recorded history: a legal history
-    /// containing exactly the executions that committed. This is what the
-    /// serialisability analyses consume.
-    pub history: History,
-    /// The raw recorded history including aborted attempts. Aborted effects
-    /// were physically undone during the run, so this history is *not*
-    /// guaranteed to satisfy legality condition 3; it exists for diagnostics.
-    pub raw_history: History,
-    /// Counters collected during the run.
-    pub metrics: RunMetrics,
-}
-
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum ThreadState {
     Ready,
@@ -103,124 +100,118 @@ struct Thread {
     prev_step: Option<StepId>,
 }
 
-#[derive(Clone, Debug)]
-struct ExecMeta {
-    parent: Option<ExecId>,
-    object: ObjectId,
+/// Simulator-specific bookkeeping per execution, parallel to the kernel's
+/// registry: the bound method arguments, the invocation's message step, and
+/// which thread to resume when the execution commits.
+#[derive(Clone, Debug, Default)]
+struct SideMeta {
     args: Vec<Value>,
-    live: bool,
-    aborted: bool,
     msg_step: Option<StepId>,
     resume_thread: Option<usize>,
-    spec: Option<(usize, u32)>,
-    children: Vec<ExecId>,
-}
-
-#[derive(Clone, Debug)]
-struct Pending {
-    spec: usize,
-    attempt: u32,
-}
-
-struct EngineView<'a> {
-    meta: &'a [ExecMeta],
-    base: &'a Arc<ObjectBase>,
-}
-
-impl TxnView for EngineView<'_> {
-    fn parent(&self, e: ExecId) -> Option<ExecId> {
-        self.meta[e.index()].parent
-    }
-    fn object_of(&self, e: ExecId) -> ObjectId {
-        self.meta[e.index()].object
-    }
-    fn type_of(&self, o: ObjectId) -> TypeHandle {
-        self.base.type_of(o)
-    }
-    fn is_live(&self, e: ExecId) -> bool {
-        self.meta[e.index()].live
-    }
 }
 
 struct EngineState {
     def: crate::program::ObjectBaseDef,
     specs: Vec<crate::program::TxnSpec>,
     config: ExecParams,
-    builder: HistoryBuilder,
+    kernel: LifecycleKernel,
     store: ObjectStore,
-    exec_meta: Vec<ExecMeta>,
+    side: Vec<SideMeta>,
     threads: Vec<Thread>,
-    queue: VecDeque<Pending>,
     running_clients: usize,
-    metrics: RunMetrics,
     rng: ChaCha8Rng,
 }
 
-impl EngineState {
-    fn new(workload: &WorkloadSpec, config: &ExecParams) -> Self {
-        let base = Arc::clone(workload.def.base());
-        let mut builder = HistoryBuilder::new(Arc::clone(&base));
-        builder.set_auto_program_order(false);
-        let mut queue = VecDeque::new();
-        for (i, _) in workload.transactions.iter().enumerate() {
-            queue.push_back(Pending {
-                spec: i,
-                attempt: 0,
-            });
+/// The simulator's side of the shared abort loop: single-threaded, so every
+/// phase is plain field access — the store undo runs in place and victim
+/// threads of control are torn down immediately (no dooming; there is no
+/// other thread to unwind).
+struct SimDriver<'a> {
+    st: &'a mut EngineState,
+    scheduler: &'a mut dyn Scheduler,
+}
+
+impl ExecutionDriver for SimDriver<'_> {
+    fn mark_aborted(
+        &mut self,
+        top: ExecId,
+        reason: &AbortReason,
+        cascade: bool,
+    ) -> Option<Vec<ExecId>> {
+        let subtree = self.st.kernel.mark_abort_subtree(top, reason, cascade)?;
+        let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
+        for th in &mut self.st.threads {
+            if subtree_set.contains(&th.exec) {
+                th.state = ThreadState::Done;
+                th.frames.clear();
+                th.blocked_on.clear();
+            }
         }
+        Some(subtree)
+    }
+
+    fn undo_steps(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>) {
+        self.st.store.undo(aborted)
+    }
+
+    fn release_aborted(
+        &mut self,
+        top: ExecId,
+        subtree: &[ExecId],
+        removed_steps: usize,
+        invalidated: BTreeSet<ExecId>,
+    ) -> Vec<ExecId> {
+        let release = self.st.kernel.release_aborted(
+            self.scheduler,
+            top,
+            subtree,
+            removed_steps,
+            invalidated,
+            true,
+        );
+        if !release.was_committed {
+            self.st.running_clients -= 1;
+        }
+        // Every victim resolves inline: committed ones have no thread of
+        // control, and running ones were torn down in `mark_aborted`.
+        release.victims.into_iter().map(|v| v.top).collect()
+    }
+}
+
+impl EngineState {
+    fn new(workload: &WorkloadSpec, config: &ExecParams, scheduler_name: String) -> Self {
+        let base = std::sync::Arc::clone(workload.def.base());
         EngineState {
             def: workload.def.clone(),
             specs: workload.transactions.clone(),
             config: config.clone(),
-            builder,
+            kernel: LifecycleKernel::new(
+                std::sync::Arc::clone(&base),
+                workload.transactions.len(),
+                config.max_retries,
+                scheduler_name,
+                "simulated".to_owned(),
+            ),
             store: ObjectStore::new(base),
-            exec_meta: Vec::new(),
+            side: Vec::new(),
             threads: Vec::new(),
-            queue,
             running_clients: 0,
-            metrics: RunMetrics::default(),
             rng: ChaCha8Rng::seed_from_u64(config.seed),
         }
     }
 
-    fn view(&self) -> EngineView<'_> {
-        EngineView {
-            meta: &self.exec_meta,
-            base: self.def.base(),
-        }
-    }
-
-    fn top_of(&self, mut e: ExecId) -> ExecId {
-        while let Some(p) = self.exec_meta[e.index()].parent {
-            e = p;
-        }
-        e
-    }
-
     fn settled(&self) -> bool {
-        self.queue.is_empty() && self.running_clients == 0
+        self.kernel.queue_is_empty() && self.running_clients == 0
     }
 
     fn start_pending(&mut self, scheduler: &mut dyn Scheduler) {
         while self.running_clients < self.config.clients {
-            let Some(p) = self.queue.pop_front() else {
+            let Some(p) = self.kernel.next_pending() else {
                 break;
             };
             let spec = &self.specs[p.spec];
-            let top = self.builder.begin_top_level(spec.name.clone());
-            debug_assert_eq!(top.index(), self.exec_meta.len());
-            self.exec_meta.push(ExecMeta {
-                parent: None,
-                object: ObjectId::ENVIRONMENT,
-                args: Vec::new(),
-                live: true,
-                aborted: false,
-                msg_step: None,
-                resume_thread: None,
-                spec: Some((p.spec, p.attempt)),
-                children: Vec::new(),
-            });
-            scheduler.on_begin(top, None, ObjectId::ENVIRONMENT, &self.view());
+            let top = self.kernel.admit_top(scheduler, spec.name.clone(), p);
+            self.side.push(SideMeta::default());
             let body = spec.body.clone();
             self.threads.push(Thread {
                 exec: top,
@@ -310,6 +301,18 @@ impl EngineState {
         }
     }
 
+    fn abort_top_level(&mut self, scheduler: &mut dyn Scheduler, top: ExecId, reason: AbortReason) {
+        resolve_abort(
+            &mut SimDriver {
+                st: self,
+                scheduler,
+            },
+            top,
+            reason,
+            false,
+        );
+    }
+
     fn do_local(
         &mut self,
         scheduler: &mut dyn Scheduler,
@@ -318,26 +321,25 @@ impl EngineState {
         arg_exprs: Vec<Expr>,
     ) {
         let exec = self.threads[tid].exec;
-        let object = self.exec_meta[exec.index()].object;
+        let object = self.kernel.execs.record(exec).object;
         assert!(
             !object.is_environment(),
             "top-level transactions cannot issue local operations (the environment has no variables)"
         );
         let args: Vec<Value> = {
-            let margs = &self.exec_meta[exec.index()].args;
+            let margs = &self.side[exec.index()].args;
             arg_exprs.iter().map(|e| e.eval(margs)).collect()
         };
         let op = Operation::new(op_name, args);
 
-        match scheduler.request_local(exec, object, &op, &self.view()) {
+        match self.kernel.request_local(scheduler, exec, object, &op) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
-                self.metrics.blocked_events += 1;
                 return;
             }
             Decision::Abort(reason) => {
-                let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, reason, false);
+                let top = self.kernel.execs.top_of(exec);
+                self.abort_top_level(scheduler, top, reason);
                 return;
             }
             Decision::Grant => {}
@@ -349,32 +351,28 @@ impl EngineState {
             .unwrap_or_else(|e| panic!("malformed workload: {e}"));
         let step = LocalStep::new(op.clone(), ret.clone());
 
-        match scheduler.validate_step(exec, object, &step, &self.view()) {
+        match self.kernel.validate_step(scheduler, exec, object, &step) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
-                self.metrics.blocked_events += 1;
                 return;
             }
             Decision::Abort(reason) => {
-                let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, reason, false);
+                let top = self.kernel.execs.top_of(exec);
+                self.abort_top_level(scheduler, top, reason);
                 return;
             }
             Decision::Grant => {}
         }
 
-        self.store
-            .install(object, exec, op.clone(), ret.clone(), new_state);
-        let sid = self.builder.local(exec, op, ret.clone());
-        if let Some(prev) = self.threads[tid].prev_step {
-            self.builder.program_order_edge(exec, prev, sid);
-        }
-        scheduler.on_step_installed(exec, object, &step, &self.view());
+        self.store.install(object, exec, op, ret.clone(), new_state);
+        let prev = self.threads[tid].prev_step;
+        let sid = self
+            .kernel
+            .install_step(scheduler, exec, object, step, prev);
         let th = &mut self.threads[tid];
         th.prev_step = Some(sid);
         th.last_value = ret;
         th.blocked_on.clear();
-        self.metrics.installed_steps += 1;
         self.advance(tid);
     }
 
@@ -388,21 +386,20 @@ impl EngineState {
     ) {
         let exec = self.threads[tid].exec;
         let (target, args) = {
-            let margs = &self.exec_meta[exec.index()].args;
+            let margs = &self.side[exec.index()].args;
             let target = objref.resolve(margs);
             let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(margs)).collect();
             (target, args)
         };
 
-        match scheduler.request_invoke(exec, target, &method, &self.view()) {
+        match self.kernel.request_invoke(scheduler, exec, target, &method) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
-                self.metrics.blocked_events += 1;
                 return;
             }
             Decision::Abort(reason) => {
-                let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, reason, false);
+                let top = self.kernel.execs.top_of(exec);
+                self.abort_top_level(scheduler, top, reason);
                 return;
             }
             Decision::Grant => {}
@@ -412,27 +409,16 @@ impl EngineState {
             .def
             .method(target, &method)
             .unwrap_or_else(|| panic!("object {target:?} has no method {method:?}"));
-        let (msg, child) = self
-            .builder
-            .invoke(exec, target, method.clone(), args.clone());
-        debug_assert_eq!(child.index(), self.exec_meta.len());
-        if let Some(prev) = self.threads[tid].prev_step {
-            self.builder.program_order_edge(exec, prev, msg);
-        }
-        self.threads[tid].prev_step = Some(msg);
-        self.exec_meta.push(ExecMeta {
-            parent: Some(exec),
-            object: target,
+        let prev = self.threads[tid].prev_step;
+        let (msg, child) =
+            self.kernel
+                .begin_nested(scheduler, exec, target, method, args.clone(), prev);
+        self.side.push(SideMeta {
             args,
-            live: true,
-            aborted: false,
             msg_step: Some(msg),
             resume_thread: Some(tid),
-            spec: None,
-            children: Vec::new(),
         });
-        self.exec_meta[exec.index()].children.push(child);
-        scheduler.on_begin(child, Some(exec), target, &self.view());
+        self.threads[tid].prev_step = Some(msg);
         self.threads.push(Thread {
             exec: child,
             frames: vec![Frame {
@@ -469,109 +455,31 @@ impl EngineState {
     }
 
     fn complete_exec(&mut self, scheduler: &mut dyn Scheduler, exec: ExecId, retval: Value) {
-        match scheduler.certify_commit(exec, &self.view()) {
-            Decision::Abort(reason) => {
-                let top = self.top_of(exec);
-                self.abort_top_level(scheduler, top, reason, false);
-                return;
-            }
-            Decision::Block { .. } | Decision::Grant => {}
-        }
-        scheduler.on_commit(exec, &self.view());
-        self.exec_meta[exec.index()].live = false;
-        match self.exec_meta[exec.index()].parent {
+        match self.kernel.execs.record(exec).parent {
             Some(_) => {
-                let msg = self.exec_meta[exec.index()]
+                let msg = self.side[exec.index()]
                     .msg_step
                     .expect("nested execution has a message step");
-                self.builder.complete_invoke(msg, retval.clone());
-                let rt = self.exec_meta[exec.index()]
+                if let Err(reason) = self
+                    .kernel
+                    .commit_nested(scheduler, exec, msg, retval.clone())
+                {
+                    let top = self.kernel.execs.top_of(exec);
+                    self.abort_top_level(scheduler, top, reason);
+                    return;
+                }
+                let rt = self.side[exec.index()]
                     .resume_thread
                     .expect("nested execution has a waiting thread");
                 self.threads[rt].last_value = retval;
                 self.threads[rt].state = ThreadState::Ready;
             }
             None => {
-                self.metrics.committed += 1;
+                if let Err(reason) = self.kernel.commit_top(scheduler, exec) {
+                    self.abort_top_level(scheduler, exec, reason);
+                    return;
+                }
                 self.running_clients -= 1;
-            }
-        }
-    }
-
-    fn subtree_of(&self, root: ExecId) -> Vec<ExecId> {
-        let mut out = Vec::new();
-        let mut stack = vec![root];
-        while let Some(e) = stack.pop() {
-            out.push(e);
-            stack.extend(self.exec_meta[e.index()].children.iter().copied());
-        }
-        out
-    }
-
-    fn abort_top_level(
-        &mut self,
-        scheduler: &mut dyn Scheduler,
-        top: ExecId,
-        reason: AbortReason,
-        cascade: bool,
-    ) {
-        let mut worklist: Vec<(ExecId, AbortReason, bool)> = vec![(top, reason, cascade)];
-        let mut aborted_accum: BTreeSet<ExecId> = BTreeSet::new();
-        while let Some((t, r, casc)) = worklist.pop() {
-            if self.exec_meta[t.index()].aborted {
-                continue;
-            }
-            let was_running = self.exec_meta[t.index()].live;
-            let subtree = self.subtree_of(t);
-            let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
-            self.metrics.wasted_steps += self.store.installed_by(&subtree_set) as u64;
-            // Notify the scheduler deepest-first (children release before
-            // parents), then mark everything aborted.
-            for &e in subtree.iter().rev() {
-                scheduler.on_abort(e, &self.view());
-            }
-            for &e in &subtree {
-                self.exec_meta[e.index()].aborted = true;
-                self.exec_meta[e.index()].live = false;
-                self.builder.abort(e);
-            }
-            for th in &mut self.threads {
-                if subtree_set.contains(&th.exec) {
-                    th.state = ThreadState::Done;
-                    th.frames.clear();
-                    th.blocked_on.clear();
-                }
-            }
-            aborted_accum.extend(subtree_set.iter().copied());
-            self.metrics.record_abort(&r.to_string());
-            if casc {
-                self.metrics.cascading_aborts += 1;
-            }
-            if was_running {
-                self.running_clients -= 1;
-            } else {
-                // The victim had already committed (only possible with
-                // non-strict schedulers); uncount it.
-                self.metrics.committed = self.metrics.committed.saturating_sub(1);
-            }
-            if let Some((spec, attempt)) = self.exec_meta[t.index()].spec {
-                if attempt < self.config.max_retries {
-                    self.queue.push_back(Pending {
-                        spec,
-                        attempt: attempt + 1,
-                    });
-                    self.metrics.retries += 1;
-                } else {
-                    self.metrics.gave_up += 1;
-                }
-            }
-            // Undo effects and cascade to transactions that observed them.
-            let invalidated = self.store.undo(&aborted_accum);
-            for e in invalidated {
-                let it = self.top_of(e);
-                if !self.exec_meta[it.index()].aborted {
-                    worklist.push((it, AbortReason::CascadingDirtyRead, true));
-                }
             }
         }
     }
@@ -593,7 +501,7 @@ impl EngineState {
                 g.add_edge(th.exec, child);
             }
             for &owner in &th.blocked_on {
-                if owner.index() >= self.exec_meta.len() || owner == th.exec {
+                if owner.index() >= self.kernel.execs.len() || owner == th.exec {
                     continue;
                 }
                 g.add_edge(th.exec, owner);
@@ -603,33 +511,8 @@ impl EngineState {
         if !any {
             return None;
         }
-        g.find_cycle().map(|cycle| {
-            let victim = cycle.into_iter().max().expect("cycles are non-empty");
-            self.top_of(victim)
-        })
+        self.kernel.execs.deadlock_victim(&g)
     }
-}
-
-/// The engine's configuration struct under its pre-0.2 name.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExecParams`, or configure runs through `obase_runtime::Runtime`"
-)]
-pub type EngineConfig = ExecParams;
-
-/// Runs a workload under a scheduler (pre-0.2 entry point).
-#[doc(hidden)]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `execute`, or run workloads through `obase_runtime::Runtime`"
-)]
-pub fn run(
-    workload: &WorkloadSpec,
-    scheduler: &mut dyn Scheduler,
-    config: &ExecParams,
-) -> RunResult {
-    execute(workload, scheduler, config)
 }
 
 /// Runs a workload under a scheduler and returns the recorded history and
@@ -640,12 +523,9 @@ pub fn execute(
     config: &ExecParams,
 ) -> RunResult {
     let started = std::time::Instant::now();
-    let mut st = EngineState::new(workload, config);
-    st.metrics.scheduler = scheduler.name();
-    st.metrics.backend = "simulated".to_owned();
-    st.metrics.submitted = workload.transactions.len();
-    while !st.settled() && st.metrics.rounds < config.max_rounds {
-        st.metrics.rounds += 1;
+    let mut st = EngineState::new(workload, config, scheduler.name());
+    while !st.settled() && st.kernel.metrics.rounds < config.max_rounds {
+        st.kernel.metrics.rounds += 1;
         st.start_pending(scheduler);
         let mut runnable: Vec<usize> = st
             .threads
@@ -661,22 +541,15 @@ pub fn execute(
             }
         }
         if let Some(victim) = st.detect_deadlock() {
-            st.metrics.deadlocks += 1;
-            st.abort_top_level(scheduler, victim, AbortReason::Deadlock, false);
+            st.kernel.metrics.deadlocks += 1;
+            st.abort_top_level(scheduler, victim, AbortReason::Deadlock);
         }
     }
     if !st.settled() {
-        st.metrics.timed_out = true;
+        st.kernel.metrics.timed_out = true;
     }
-    st.metrics.wall_micros = started.elapsed().as_micros() as u64;
-    let metrics = st.metrics;
-    let raw_history = st.builder.build();
-    let history = raw_history.committed_projection();
-    RunResult {
-        history,
-        raw_history,
-        metrics,
-    }
+    st.kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
+    st.kernel.into_result()
 }
 
 #[cfg(test)]
@@ -684,8 +557,10 @@ mod tests {
     use super::*;
     use crate::program::{MethodDef, ObjectBaseDef, TxnSpec};
     use obase_adt::{Counter, Register};
+    use obase_core::object::ObjectBase;
     use obase_core::sched::NullScheduler;
     use obase_lock::N2plScheduler;
+    use std::sync::Arc;
 
     /// Builds a tiny bank-like workload: `n` transactions each invoking
     /// `bump` on one of two counters through a nested method.
@@ -809,6 +684,11 @@ mod tests {
         assert!(obase_core::sg::certifies_serialisable(&result.history));
         // Strict locking never cascades.
         assert_eq!(result.metrics.cascading_aborts, 0);
+        // Abort reasons are recorded under their variant key.
+        assert_eq!(
+            result.metrics.aborts_by_reason["deadlock"],
+            result.metrics.deadlocks
+        );
     }
 
     #[test]

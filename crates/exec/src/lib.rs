@@ -44,22 +44,31 @@
 //! ```
 //!
 //! The raw entry point ([`engine::execute`]) remains available for embedders
-//! that need to drive a [`Scheduler`](obase_core::sched::Scheduler) manually;
-//! the pre-0.2 `run`/`EngineConfig` names are deprecated shims over it.
+//! that need to drive a [`Scheduler`](obase_core::sched::Scheduler) manually.
+//! (The pre-0.2 `run`/`EngineConfig` shims have been removed.)
+//!
+//! ## The lifecycle kernel
+//!
+//! The [`kernel`] module is the single source of truth for the transaction
+//! lifecycle — admission, provisional/validate/install recording, commit
+//! certification, abort undo ordering, cascade resolution and retry
+//! accounting. The simulator in [`engine`] and the multi-threaded backend in
+//! `obase-par` are both thin *drivers* over it (see
+//! [`obase_core::lifecycle`] for the driver contract), which is what makes
+//! the paper's checks hold identically across backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod kernel;
 pub mod metrics;
 pub mod mixed;
 pub mod program;
 pub mod store;
 
 pub use engine::{execute, ExecParams, RunResult};
-#[allow(deprecated)]
-#[doc(hidden)]
-pub use engine::{run, EngineConfig};
+pub use kernel::LifecycleKernel;
 pub use metrics::RunMetrics;
 pub use mixed::MixedScheduler;
 pub use program::{Expr, MethodDef, ObjRef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};

@@ -1,5 +1,6 @@
 //! Run metrics: what the experiments measure.
 
+use obase_core::sched::AbortReason;
 use obase_ser::Json;
 use std::collections::BTreeMap;
 
@@ -18,7 +19,9 @@ pub struct RunMetrics {
     /// Number of top-level transaction aborts (each retry that later aborts
     /// counts again).
     pub aborts: usize,
-    /// Abort counts keyed by reason.
+    /// Abort counts keyed by [`AbortReason`] variant
+    /// ([`AbortReason::key`]: `"deadlock"`, `"timestamp_order"`, ...), so
+    /// experiments can report *why* a scheduler aborts, not just how often.
     pub aborts_by_reason: BTreeMap<String, usize>,
     /// Aborts caused by cascading invalidation (dirty reads observed when an
     /// earlier abort was undone).
@@ -86,10 +89,13 @@ impl RunMetrics {
         }
     }
 
-    /// Records an abort with a reason label.
-    pub fn record_abort(&mut self, reason: &str) {
+    /// Records an abort, bucketed by the reason's variant key.
+    pub fn record_abort(&mut self, reason: &AbortReason) {
         self.aborts += 1;
-        *self.aborts_by_reason.entry(reason.to_owned()).or_default() += 1;
+        *self
+            .aborts_by_reason
+            .entry(reason.key().to_owned())
+            .or_default() += 1;
     }
 
     /// Renders the metrics as a JSON object (used by run reports).
@@ -137,9 +143,9 @@ mod tests {
             blocked_events: 20,
             ..Default::default()
         };
-        m.record_abort("deadlock");
-        m.record_abort("deadlock");
-        m.record_abort("timestamp order violation");
+        m.record_abort(&AbortReason::Deadlock);
+        m.record_abort(&AbortReason::Deadlock);
+        m.record_abort(&AbortReason::TimestampOrder);
         assert!((m.throughput() - 0.2).abs() < 1e-9);
         assert!((m.abort_ratio() - 0.3).abs() < 1e-9);
         assert!((m.blocking_ratio() - 2.0).abs() < 1e-9);

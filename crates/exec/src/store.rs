@@ -126,18 +126,23 @@ impl ObjectStore {
 
     /// Removes every step issued by `aborted` executions and rebuilds the
     /// affected objects by replaying the remaining logs from their initial
-    /// states. Returns the executions whose surviving steps' recorded return
-    /// values no longer hold — they observed aborted state and must be
-    /// cascade-aborted by the caller.
-    pub fn undo(&mut self, aborted: &BTreeSet<ExecId>) -> BTreeSet<ExecId> {
+    /// states. Returns the number of removed steps and the executions whose
+    /// surviving steps' recorded return values no longer hold — they observed
+    /// aborted state and must be cascade-aborted by the caller. (The same
+    /// signature as the sharded store's undo, so either store slots into the
+    /// kernel's abort phase 2.)
+    pub fn undo(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>) {
+        let mut removed = 0usize;
         let mut invalidated = BTreeSet::new();
         let objects: Vec<ObjectId> = self.logs.keys().copied().collect();
         for o in objects {
             let log = self.logs.get_mut(&o).expect("object has a log");
-            if !log.iter().any(|e| aborted.contains(&e.exec)) {
+            let before = log.len();
+            log.retain(|e| !aborted.contains(&e.exec));
+            if log.len() == before {
                 continue;
             }
-            log.retain(|e| !aborted.contains(&e.exec));
+            removed += before - log.len();
             // Replay the surviving log.
             let ty = self.base.type_of(o);
             let initial = self
@@ -149,7 +154,7 @@ impl ObjectStore {
             invalidated.extend(bad);
             self.states.insert(o, state);
         }
-        invalidated
+        (removed, invalidated)
     }
 }
 
@@ -194,7 +199,8 @@ mod tests {
         store.install(x, ExecId(1), Operation::unary("Write", 5), r, s);
         let aborted: BTreeSet<ExecId> = [ExecId(1)].into_iter().collect();
         assert_eq!(store.installed_by(&aborted), 1);
-        let invalidated = store.undo(&aborted);
+        let (removed, invalidated) = store.undo(&aborted);
+        assert_eq!(removed, 1);
         assert!(invalidated.is_empty());
         assert_eq!(store.state(x), Value::Int(0));
         assert_eq!(store.installed(), 0);
@@ -211,7 +217,8 @@ mod tests {
         assert_eq!(r, Value::Int(5));
         store.install(x, ExecId(2), Operation::nullary("Read"), r, s);
         let aborted: BTreeSet<ExecId> = [ExecId(1)].into_iter().collect();
-        let invalidated = store.undo(&aborted);
+        let (removed, invalidated) = store.undo(&aborted);
+        assert_eq!(removed, 1);
         assert_eq!(invalidated.into_iter().collect::<Vec<_>>(), vec![ExecId(2)]);
         assert_eq!(store.state(x), Value::Int(0));
     }
@@ -229,7 +236,8 @@ mod tests {
         }
         assert_eq!(store.state(c), Value::Int(8));
         let aborted: BTreeSet<ExecId> = [ExecId(1)].into_iter().collect();
-        let invalidated = store.undo(&aborted);
+        let (removed, invalidated) = store.undo(&aborted);
+        assert_eq!(removed, 1);
         assert!(invalidated.is_empty());
         assert_eq!(store.state(c), Value::Int(3));
     }

@@ -1,7 +1,13 @@
 //! The parallel execution engine: a worker pool over the sharded store.
 //!
 //! See the crate docs for the control-plane/data-plane split and the
-//! blocking model. This module implements:
+//! blocking model. This module is a *driver* over the shared lifecycle
+//! kernel ([`obase_exec::kernel`]): every lifecycle transition — admission,
+//! install recording, commit certification, abort marking/release, retry
+//! accounting — is a kernel call, and aborts run through the one shared
+//! resolution loop ([`resolve_abort`]) via this module's
+//! [`ExecutionDriver`] implementation. What lives here is only what is
+//! genuinely parallel:
 //!
 //! * the worker loop (claim a pending transaction, execute it, commit or
 //!   abort-and-retry);
@@ -9,21 +15,21 @@
 //!   threads (intra-transaction parallelism, Section 3(c) of the paper);
 //! * the scheduler gates, which turn [`Decision::Block`] into a condition
 //!   variable wait and wake blocked workers on every state transition;
-//! * abort processing, which replays per-object logs through the same
-//!   routine as the simulator and dooms cascading dirty readers;
+//! * the doomed-victim protocol (a still-running cascade victim is condemned
+//!   and unwinds itself at its next gate);
 //! * the monitor thread: a waits-for-graph deadlock ticker plus the
 //!   wall-clock deadline that guards against livelock.
 
 use crate::store::ShardedStore;
-use obase_core::builder::HistoryBuilder;
 use obase_core::graph::DiGraph;
 use obase_core::ids::{ExecId, ObjectId, StepId};
-use obase_core::object::{ObjectBase, TypeHandle};
+use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
 use obase_core::op::{LocalStep, Operation};
-use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
+use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
-use obase_exec::{ExecParams, Program, RunMetrics, RunResult, TxnSpec, WorkloadSpec};
-use std::collections::{BTreeSet, VecDeque};
+use obase_exec::kernel::LifecycleKernel;
+use obase_exec::{ExecParams, Program, RunResult, TxnSpec, WorkloadSpec};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -72,26 +78,6 @@ impl ParParams {
     }
 }
 
-/// A pending top-level transaction (initial submission or retry).
-#[derive(Clone, Copy, Debug)]
-struct Pending {
-    spec: usize,
-    attempt: u32,
-}
-
-/// Control-plane record of one method execution (mirrors the builder's
-/// execution vector index for index).
-#[derive(Debug)]
-struct ExecInfo {
-    parent: Option<ExecId>,
-    object: ObjectId,
-    live: bool,
-    aborted: bool,
-    committed: bool,
-    spec: Option<(usize, u32)>,
-    children: Vec<ExecId>,
-}
-
 /// One thread of control inside a transaction: the top-level activity, or a
 /// `Par` branch. The monitor derives the waits-for graph from these.
 #[derive(Debug, Default)]
@@ -106,19 +92,17 @@ struct Activity {
     active: bool,
 }
 
-/// Everything behind the control-plane mutex.
+/// Everything behind the control-plane mutex: the shared lifecycle kernel
+/// plus this backend's thread bookkeeping.
 struct Central {
     scheduler: Box<dyn Scheduler>,
-    builder: HistoryBuilder,
-    execs: Vec<ExecInfo>,
+    kernel: LifecycleKernel,
     activities: Vec<Activity>,
     /// Live top-level transactions condemned to abort (by the deadlock
     /// monitor or by cascade), with the reason; the owning worker performs
     /// the abort at its next gate.
     doomed: std::collections::BTreeMap<ExecId, (AbortReason, bool)>,
-    queue: VecDeque<Pending>,
     running: usize,
-    metrics: RunMetrics,
     /// Bumped on every state transition; blocked workers re-request when it
     /// moves. Doubles as the logical makespan reported in `metrics.rounds`.
     gen: u64,
@@ -129,7 +113,6 @@ struct Shared<'w> {
     central: Mutex<Central>,
     cv: Condvar,
     store: ShardedStore,
-    base: Arc<ObjectBase>,
     workload: &'w WorkloadSpec,
     params: ParParams,
 }
@@ -150,51 +133,22 @@ struct Ctx {
     last: Value,
 }
 
-struct ParView<'a> {
-    execs: &'a [ExecInfo],
-    base: &'a Arc<ObjectBase>,
-}
-
-impl TxnView for ParView<'_> {
-    fn parent(&self, e: ExecId) -> Option<ExecId> {
-        self.execs[e.index()].parent
-    }
-    fn object_of(&self, e: ExecId) -> ObjectId {
-        self.execs[e.index()].object
-    }
-    fn type_of(&self, o: ObjectId) -> TypeHandle {
-        self.base.type_of(o)
-    }
-    fn is_live(&self, e: ExecId) -> bool {
-        self.execs[e.index()].live
-    }
-}
-
 impl Central {
-    fn top_of(&self, mut e: ExecId) -> ExecId {
-        while let Some(p) = self.execs[e.index()].parent {
-            e = p;
-        }
-        e
-    }
-
-    fn subtree_of(&self, root: ExecId) -> Vec<ExecId> {
-        let mut out = Vec::new();
-        let mut stack = vec![root];
-        while let Some(e) = stack.pop() {
-            out.push(e);
-            stack.extend(self.execs[e.index()].children.iter().copied());
-        }
-        out
-    }
-
     /// `true` if the given top-level transaction must stop executing.
     fn is_interrupted(&self, top: ExecId) -> bool {
-        self.shutdown || self.doomed.contains_key(&top) || self.execs[top.index()].aborted
+        self.shutdown || self.doomed.contains_key(&top) || self.kernel.execs.record(top).aborted
     }
 
     fn bump(&mut self) {
         self.gen += 1;
+    }
+
+    /// Split-borrows the kernel and the scheduler for a lifecycle call.
+    fn kernel_sched(&mut self) -> (&mut LifecycleKernel, &mut dyn Scheduler) {
+        let Central {
+            scheduler, kernel, ..
+        } = self;
+        (kernel, scheduler.as_mut())
     }
 }
 
@@ -203,19 +157,6 @@ fn lock<'a>(shared: &'a Shared) -> MutexGuard<'a, Central> {
         .central
         .lock()
         .expect("a worker panicked while holding the control-plane lock")
-}
-
-/// Runs a scheduler hook with the view split-borrowed from the same guard.
-fn with_sched<R>(
-    c: &mut Central,
-    base: &Arc<ObjectBase>,
-    f: impl FnOnce(&mut dyn Scheduler, &ParView) -> R,
-) -> R {
-    let Central {
-        scheduler, execs, ..
-    } = c;
-    let view = ParView { execs, base };
-    f(scheduler.as_mut(), &view)
 }
 
 /// Executes a workload on a pool of OS worker threads against the sharded
@@ -241,33 +182,26 @@ pub fn execute_parallel(
     } else {
         params.shards
     };
-    let mut builder = HistoryBuilder::new(Arc::clone(&base));
-    builder.set_auto_program_order(false);
-    let metrics = RunMetrics {
-        scheduler: scheduler.name(),
-        backend: format!("parallel({})", params.workers),
-        submitted: workload.transactions.len(),
-        ..Default::default()
-    };
+    let kernel = LifecycleKernel::new(
+        Arc::clone(&base),
+        workload.transactions.len(),
+        params.max_retries,
+        scheduler.name(),
+        format!("parallel({})", params.workers),
+    );
     let central = Central {
         scheduler,
-        builder,
-        execs: Vec::new(),
+        kernel,
         activities: Vec::new(),
         doomed: Default::default(),
-        queue: (0..workload.transactions.len())
-            .map(|spec| Pending { spec, attempt: 0 })
-            .collect(),
         running: 0,
-        metrics,
         gen: 0,
         shutdown: false,
     };
     let shared = Shared {
         central: Mutex::new(central),
         cv: Condvar::new(),
-        store: ShardedStore::new(Arc::clone(&base), shards),
-        base,
+        store: ShardedStore::new(base, shards),
         workload,
         params: params.clone(),
     };
@@ -288,16 +222,9 @@ pub fn execute_parallel(
         .central
         .into_inner()
         .expect("a worker panicked while holding the control-plane lock");
-    central.metrics.rounds = central.gen;
-    central.metrics.wall_micros = started.elapsed().as_micros() as u64;
-    let metrics = central.metrics;
-    let raw_history = central.builder.build();
-    let history = raw_history.committed_projection();
-    RunResult {
-        history,
-        raw_history,
-        metrics,
-    }
+    central.kernel.metrics.rounds = central.gen;
+    central.kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
+    central.kernel.into_result()
 }
 
 // ----- worker loop ----------------------------------------------------------
@@ -307,7 +234,7 @@ fn worker_loop(shared: &Shared) {
         let pending = {
             let mut c = lock(shared);
             loop {
-                if let Some(p) = c.queue.pop_front() {
+                if let Some(p) = c.kernel.next_pending() {
                     c.running += 1;
                     break Some(p);
                 }
@@ -333,25 +260,13 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn run_top_level(shared: &Shared, p: Pending) {
+fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending) {
     let spec: &TxnSpec = &shared.workload.transactions[p.spec];
     let (top, act) = {
         let mut c = lock(shared);
-        let top = c.builder.begin_top_level(spec.name.clone());
-        debug_assert_eq!(top.index(), c.execs.len());
-        c.execs.push(ExecInfo {
-            parent: None,
-            object: ObjectId::ENVIRONMENT,
-            live: true,
-            aborted: false,
-            committed: false,
-            spec: Some((p.spec, p.attempt)),
-            children: Vec::new(),
-        });
+        let (kernel, sched) = c.kernel_sched();
+        let top = kernel.admit_top(sched, spec.name.clone(), p);
         let act = alloc_activity(&mut c, top);
-        with_sched(&mut c, &shared.base, |s, v| {
-            s.on_begin(top, None, ObjectId::ENVIRONMENT, v)
-        });
         c.bump();
         (top, act)
     };
@@ -487,9 +402,8 @@ fn do_local(
         if c.is_interrupted(ctx.top) {
             return Err(Interrupt);
         }
-        let decision = with_sched(&mut c, &shared.base, |s, v| {
-            s.request_local(ctx.exec, object, &op, v)
-        });
+        let (kernel, sched) = c.kernel_sched();
+        let decision = kernel.request_local(sched, ctx.exec, object, &op);
         match decision {
             Decision::Grant => {}
             Decision::Abort(reason) => {
@@ -499,7 +413,6 @@ fn do_local(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                c.metrics.blocked_events += 1;
                 c.activities[act].blocked_on = waiting_for;
                 let seen = c.gen;
                 drop(c);
@@ -512,21 +425,16 @@ fn do_local(
             .provisional(&op)
             .unwrap_or_else(|e| panic!("malformed workload: {e}"));
         let step = LocalStep::new(op.clone(), ret.clone());
-        let decision = with_sched(&mut c, &shared.base, |s, v| {
-            s.validate_step(ctx.exec, object, &step, v)
-        });
+        let (kernel, sched) = c.kernel_sched();
+        let decision = kernel.validate_step(sched, ctx.exec, object, &step);
         match decision {
             Decision::Grant => {
-                slot.install(ctx.exec, op.clone(), ret.clone(), new_state);
-                let sid = c.builder.local(ctx.exec, op, ret.clone());
-                if let Some(prev) = ctx.prev_step {
-                    c.builder.program_order_edge(ctx.exec, prev, sid);
-                }
-                with_sched(&mut c, &shared.base, |s, v| {
-                    s.on_step_installed(ctx.exec, object, &step, v)
-                });
+                // `op` moves into the store and `step` into the history:
+                // this arm leaves the retry loop, so neither is needed again.
+                slot.install(ctx.exec, op, ret.clone(), new_state);
+                let (kernel, sched) = c.kernel_sched();
+                let sid = kernel.install_step(sched, ctx.exec, object, step, ctx.prev_step);
                 ctx.prev_step = Some(sid);
-                c.metrics.installed_steps += 1;
                 c.bump();
                 drop(c);
                 drop(slot);
@@ -540,7 +448,6 @@ fn do_local(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                c.metrics.blocked_events += 1;
                 c.activities[act].blocked_on = waiting_for;
                 let seen = c.gen;
                 drop(c);
@@ -561,8 +468,8 @@ fn do_invoke(
 ) -> Result<Value, Interrupt> {
     let target = objref.resolve(&ctx.args);
     let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(&ctx.args)).collect();
-    sched_gate(shared, act, ctx.top, |s, v| {
-        s.request_invoke(ctx.exec, target, method, v)
+    sched_gate(shared, act, ctx.top, |kernel, sched| {
+        kernel.request_invoke(sched, ctx.exec, target, method)
     })?;
     let mdef = shared
         .workload
@@ -574,27 +481,16 @@ fn do_invoke(
         if c.is_interrupted(ctx.top) {
             return Err(Interrupt);
         }
-        let (msg, child) = c
-            .builder
-            .invoke(ctx.exec, target, method.to_owned(), args.clone());
-        debug_assert_eq!(child.index(), c.execs.len());
-        if let Some(prev) = ctx.prev_step {
-            c.builder.program_order_edge(ctx.exec, prev, msg);
-        }
-        c.execs.push(ExecInfo {
-            parent: Some(ctx.exec),
-            object: target,
-            live: true,
-            aborted: false,
-            committed: false,
-            spec: None,
-            children: Vec::new(),
-        });
-        c.execs[ctx.exec.index()].children.push(child);
+        let (kernel, sched) = c.kernel_sched();
+        let (msg, child) = kernel.begin_nested(
+            sched,
+            ctx.exec,
+            target,
+            method.to_owned(),
+            args.clone(),
+            ctx.prev_step,
+        );
         c.activities[act].stack.push(child);
-        with_sched(&mut c, &shared.base, |s, v| {
-            s.on_begin(child, Some(ctx.exec), target, v)
-        });
         c.bump();
         (msg, child)
     };
@@ -619,15 +515,12 @@ fn do_invoke(
     }
     // The child finished its program: certify and commit it (nested commit;
     // N2PL inherits locks to the parent here, certifiers validate).
-    let decision = with_sched(&mut c, &shared.base, |s, v| s.certify_commit(child, v));
-    if let Decision::Abort(reason) = decision {
+    let (kernel, sched) = c.kernel_sched();
+    if let Err(reason) = kernel.commit_nested(sched, child, msg, cctx.last.clone()) {
         drop(c);
         process_abort(shared, ctx.top, reason, false);
         return Err(Interrupt);
     }
-    with_sched(&mut c, &shared.base, |s, v| s.on_commit(child, v));
-    c.execs[child.index()].live = false;
-    c.builder.complete_invoke(msg, cctx.last.clone());
     c.bump();
     drop(c);
     shared.cv.notify_all();
@@ -641,16 +534,12 @@ fn commit_top_level(shared: &Shared, top: ExecId) {
         handle_interrupt(shared, top);
         return;
     }
-    let decision = with_sched(&mut c, &shared.base, |s, v| s.certify_commit(top, v));
-    if let Decision::Abort(reason) = decision {
+    let (kernel, sched) = c.kernel_sched();
+    if let Err(reason) = kernel.commit_top(sched, top) {
         drop(c);
         process_abort(shared, top, reason, false);
         return;
     }
-    with_sched(&mut c, &shared.base, |s, v| s.on_commit(top, v));
-    c.execs[top.index()].live = false;
-    c.execs[top.index()].committed = true;
-    c.metrics.committed += 1;
     c.bump();
     drop(c);
     shared.cv.notify_all();
@@ -658,20 +547,22 @@ fn commit_top_level(shared: &Shared, top: ExecId) {
 
 // ----- gates and blocking ---------------------------------------------------
 
-/// Runs a scheduler request, waiting out `Block` decisions on the condition
-/// variable and re-requesting whenever the control-plane generation moves.
+/// Runs a scheduler request through the kernel, waiting out `Block`
+/// decisions on the condition variable and re-requesting whenever the
+/// control-plane generation moves.
 fn sched_gate(
     shared: &Shared,
     act: usize,
     top: ExecId,
-    request: impl Fn(&mut dyn Scheduler, &ParView) -> Decision,
+    request: impl Fn(&mut LifecycleKernel, &mut dyn Scheduler) -> Decision,
 ) -> Result<(), Interrupt> {
     loop {
         let mut c = lock(shared);
         if c.is_interrupted(top) {
             return Err(Interrupt);
         }
-        let decision = with_sched(&mut c, &shared.base, &request);
+        let (kernel, sched) = c.kernel_sched();
+        let decision = request(kernel, sched);
         match decision {
             Decision::Grant => return Ok(()),
             Decision::Abort(reason) => {
@@ -680,7 +571,6 @@ fn sched_gate(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                c.metrics.blocked_events += 1;
                 c.activities[act].blocked_on = waiting_for;
                 let seen = c.gen;
                 loop {
@@ -730,7 +620,7 @@ fn wait_for_change(shared: &Shared, act: usize, top: ExecId, seen: u64) -> Resul
 fn handle_interrupt(shared: &Shared, top: ExecId) {
     let verdict = {
         let c = lock(shared);
-        if c.execs[top.index()].aborted {
+        if c.kernel.execs.record(top).aborted {
             None // an inline Abort decision already processed it
         } else if let Some(v) = c.doomed.get(&top) {
             Some(v.clone())
@@ -749,87 +639,74 @@ fn handle_interrupt(shared: &Shared, top: ExecId) {
 
 // ----- aborts ---------------------------------------------------------------
 
-/// Aborts a top-level transaction: marks its subtree, undoes its installed
-/// steps shard by shard, releases its scheduler resources, re-enqueues it
-/// (budget permitting) and cascades to dirty readers. Exactly mirrors the
-/// simulator's abort path, except that dirty readers still running on other
-/// workers are doomed (they abort themselves at their next gate) rather than
-/// torn down in place.
-///
-/// Scheduler resources are released only *after* the store undo completes,
-/// so strict schedulers keep dirty state unreachable throughout — the
-/// "strict schedulers never cascade" guarantee carries over to this backend.
-fn process_abort(shared: &Shared, top: ExecId, reason: AbortReason, cascade: bool) {
-    let mut worklist: Vec<(ExecId, AbortReason, bool)> = vec![(top, reason, cascade)];
-    while let Some((t, r, casc)) = worklist.pop() {
-        // Phase 1 (control plane): mark the subtree aborted so no further
-        // steps of it install, and record the abort steps.
-        let subtree = {
-            let mut c = lock(shared);
-            c.doomed.remove(&t);
-            if c.execs[t.index()].aborted {
+/// This backend's side of the shared abort loop. Each phase takes (and
+/// releases) the control-plane lock itself, so the store undo in phase 2
+/// runs without it — workers keep making progress elsewhere while the
+/// scheduler still holds the victim's locks, which is what keeps strict
+/// schedulers cascade-free. A cascade victim still running on some worker is
+/// not torn down in place: it is *doomed*, and its owner unwinds and aborts
+/// it at its next gate.
+struct ParDriver<'w, 's> {
+    shared: &'s Shared<'w>,
+}
+
+impl ExecutionDriver for ParDriver<'_, '_> {
+    fn mark_aborted(
+        &mut self,
+        top: ExecId,
+        reason: &AbortReason,
+        cascade: bool,
+    ) -> Option<Vec<ExecId>> {
+        let mut c = lock(self.shared);
+        c.doomed.remove(&top);
+        c.kernel.mark_abort_subtree(top, reason, cascade)
+        // The owning worker's threads of control are not torn down here:
+        // they observe the aborted mark at their next gate and unwind.
+    }
+
+    fn undo_steps(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>) {
+        self.shared.store.undo(aborted)
+    }
+
+    fn release_aborted(
+        &mut self,
+        top: ExecId,
+        subtree: &[ExecId],
+        removed_steps: usize,
+        invalidated: BTreeSet<ExecId>,
+    ) -> Vec<ExecId> {
+        let mut c = lock(self.shared);
+        let allow_retry = !c.shutdown;
+        let (kernel, sched) = c.kernel_sched();
+        let release =
+            kernel.release_aborted(sched, top, subtree, removed_steps, invalidated, allow_retry);
+        let mut inline = Vec::new();
+        for v in release.victims {
+            if c.doomed.contains_key(&v.top) {
                 continue;
             }
-            let subtree = c.subtree_of(t);
-            for &e in &subtree {
-                c.execs[e.index()].aborted = true;
-                c.execs[e.index()].live = false;
-                c.builder.abort(e);
-            }
-            c.metrics.record_abort(&r.to_string());
-            if casc {
-                c.metrics.cascading_aborts += 1;
-            }
-            subtree
-        };
-        // Phase 2 (data plane): undo installed effects while the scheduler
-        // still holds the subtree's locks.
-        let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
-        let (removed, invalidated) = shared.store.undo(&subtree_set);
-        // Phase 3 (control plane): release scheduler resources, schedule the
-        // retry, and cascade to invalidated dirty readers.
-        let mut c = lock(shared);
-        c.metrics.wasted_steps += removed as u64;
-        for &e in subtree.iter().rev() {
-            with_sched(&mut c, &shared.base, |s, v| s.on_abort(e, v));
-        }
-        let was_committed = c.execs[t.index()].committed;
-        if was_committed {
-            // The victim had already committed (only possible with
-            // non-strict schedulers); uncount it.
-            c.execs[t.index()].committed = false;
-            c.metrics.committed = c.metrics.committed.saturating_sub(1);
-        }
-        if let Some((spec, attempt)) = c.execs[t.index()].spec {
-            if attempt < shared.params.max_retries && !c.shutdown {
-                c.queue.push_back(Pending {
-                    spec,
-                    attempt: attempt + 1,
-                });
-                c.metrics.retries += 1;
-            } else {
-                c.metrics.gave_up += 1;
-            }
-        }
-        for e in invalidated {
-            let it = c.top_of(e);
-            if c.execs[it.index()].aborted || c.doomed.contains_key(&it) {
-                continue;
-            }
-            if c.execs[it.index()].committed {
+            if v.committed {
                 // No worker owns a committed transaction any more: this
                 // thread processes the cascade itself.
-                worklist.push((it, AbortReason::CascadingDirtyRead, true));
+                inline.push(v.top);
             } else {
                 // Still running on some worker: condemn it and let its owner
                 // unwind and abort it at the next gate.
-                c.doomed.insert(it, (AbortReason::CascadingDirtyRead, true));
+                c.doomed
+                    .insert(v.top, (AbortReason::CascadingDirtyRead, true));
             }
         }
         c.bump();
         drop(c);
-        shared.cv.notify_all();
+        self.shared.cv.notify_all();
+        inline
     }
+}
+
+/// Aborts a top-level transaction through the shared kernel loop (see
+/// [`ParDriver`] for this backend's phase discipline).
+fn process_abort(shared: &Shared, top: ExecId, reason: AbortReason, cascade: bool) {
+    resolve_abort(&mut ParDriver { shared }, top, reason, cascade);
 }
 
 // ----- the monitor ----------------------------------------------------------
@@ -843,17 +720,17 @@ fn process_abort(shared: &Shared, top: ExecId, reason: AbortReason, cascade: boo
 fn monitor_loop(shared: &Shared, done: &AtomicBool, started: Instant) {
     let mut c = lock(shared);
     loop {
-        if done.load(Ordering::Acquire) || (c.queue.is_empty() && c.running == 0) {
+        if done.load(Ordering::Acquire) || (c.kernel.queue_is_empty() && c.running == 0) {
             return;
         }
         if !c.shutdown && started.elapsed() > shared.params.deadline {
             c.shutdown = true;
-            c.metrics.timed_out = true;
-            c.queue.clear();
+            c.kernel.metrics.timed_out = true;
+            c.kernel.clear_queue();
             c.bump();
             shared.cv.notify_all();
         } else if let Some(victim) = deadlock_victim(&c) {
-            c.metrics.deadlocks += 1;
+            c.kernel.metrics.deadlocks += 1;
             c.doomed.insert(victim, (AbortReason::Deadlock, false));
             c.bump();
             shared.cv.notify_all();
@@ -866,9 +743,9 @@ fn monitor_loop(shared: &Shared, done: &AtomicBool, started: Instant) {
     }
 }
 
-/// Scans the registered activities for a waits-for cycle and returns the
-/// top-level transaction of its youngest execution (the same victim rule as
-/// the simulator), or `None` if nothing is blocked or no cycle exists.
+/// Scans the registered activities for a waits-for cycle and applies the
+/// kernel's shared victim rule (the youngest execution's top-level
+/// transaction), additionally skipping transactions already doomed.
 fn deadlock_victim(c: &Central) -> Option<ExecId> {
     // Cheap pre-check: cycles need at least one blocked edge.
     if c.activities
@@ -886,17 +763,14 @@ fn deadlock_victim(c: &Central) -> Option<ExecId> {
             continue;
         };
         for &owner in &a.blocked_on {
-            if owner == holder || owner.index() >= c.execs.len() {
+            if owner == holder || owner.index() >= c.kernel.execs.len() {
                 continue;
             }
             g.add_edge(holder, owner);
         }
     }
-    let cycle = g.find_cycle()?;
-    let victim_exec = cycle.into_iter().max().expect("cycles are non-empty");
-    let victim = c.top_of(victim_exec);
-    let info = &c.execs[victim.index()];
-    if info.aborted || info.committed || c.doomed.contains_key(&victim) {
+    let victim = c.kernel.execs.deadlock_victim(&g)?;
+    if c.doomed.contains_key(&victim) {
         return None;
     }
     Some(victim)

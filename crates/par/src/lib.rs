@@ -13,9 +13,15 @@
 //! serialisability checks (legality, Theorem 2, Theorem 5) serve as the
 //! correctness oracle for this genuinely concurrent implementation.
 //!
-//! ## Architecture: control plane and data plane
+//! ## Architecture: a driver over the shared lifecycle kernel
 //!
-//! The backend splits the engine state in two:
+//! This backend contains no lifecycle logic of its own: every transition —
+//! admission, step install recording, commit certification, abort
+//! marking/release, cascade collection, retry accounting — is a call into
+//! the shared [`LifecycleKernel`](obase_exec::kernel::LifecycleKernel), the
+//! same code the simulator runs, and aborts flow through the one shared
+//! loop in [`obase_core::lifecycle`]. What this crate adds is the genuinely
+//! parallel machinery, split in two planes:
 //!
 //! * **Data plane** — [`ShardedStore`]: object states and installed-step
 //!   logs, partitioned by object id into independently locked shards.
@@ -24,13 +30,14 @@
 //!   critical section of a local step, which pins the per-object history
 //!   order to the state-application order (the invariant legality needs),
 //!   and *never* sleeps while holding a shard.
-//! * **Control plane** — one mutex over the scheduler, the history recorder
-//!   and the execution registry. Every scheduler hook runs under it, so
-//!   scheduler implementations stay single-threaded code (the
-//!   [`Scheduler`](obase_core::sched::Scheduler) trait only demands `Send`),
-//!   and timestamp/serialisation bookkeeping (NTO's hierarchical timestamps,
-//!   the SGT certifier's graph) is allocated atomically. Lock order is
-//!   always shard → control plane, so the two planes cannot deadlock.
+//! * **Control plane** — one mutex over the scheduler and the lifecycle
+//!   kernel (history recorder, execution registry, retry queue, metrics).
+//!   Every scheduler hook runs under it, so scheduler implementations stay
+//!   single-threaded code (the [`Scheduler`](obase_core::sched::Scheduler)
+//!   trait only demands `Send`), and timestamp/serialisation bookkeeping
+//!   (NTO's hierarchical timestamps, the SGT certifier's graph) is
+//!   allocated atomically. Lock order is always shard → control plane, so
+//!   the two planes cannot deadlock.
 //!
 //! ## Blocking, deadlocks and aborts
 //!
@@ -48,10 +55,11 @@
 //!
 //! A doomed transaction is not torn down from outside: its own worker (and
 //! any `Par` branch threads) observe the verdict at their next scheduler
-//! gate, unwind, and run the abort themselves — marking the subtree,
-//! replaying the surviving per-object logs through the *same* undo routine
-//! as the simulator ([`obase_exec::store::replay_log`]), releasing scheduler
-//! resources only after the undo, and re-submitting up to the retry budget.
+//! gate, unwind, and run the abort themselves — through the kernel's shared
+//! abort loop: marking the subtree, replaying the surviving per-object logs
+//! through the *same* undo routine as the simulator
+//! ([`obase_exec::store::replay_log`]), releasing scheduler resources only
+//! after the undo, and re-submitting up to the retry budget.
 //! Surviving steps whose recorded return values no longer replay are dirty
 //! reads; their transactions are cascade-aborted (dooming them if they are
 //! still running). Because locks are released only after the undo, strict

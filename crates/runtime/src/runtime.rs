@@ -38,9 +38,12 @@ use obase_par::ParParams;
 
 /// Which engine executes a run.
 ///
-/// Both backends drive the same [`Scheduler`](obase_core::sched::Scheduler)
-/// contract and produce the same artefacts (history, metrics, theory
-/// checks), so any [`SchedulerSpec`] runs unchanged on either.
+/// Both backends are drivers over the one lifecycle kernel
+/// (`obase_exec::kernel`): they run the same commit/abort/undo code, drive
+/// the same [`Scheduler`](obase_core::sched::Scheduler) contract and
+/// produce the same artefacts (history, metrics — including the
+/// per-reason abort histogram — and theory checks), so any
+/// [`SchedulerSpec`] runs unchanged on either.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum ExecutionBackend {
     /// The deterministic interleaving simulator (`obase-exec`): one logical

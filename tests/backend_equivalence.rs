@@ -13,6 +13,25 @@
 
 use obase::prelude::*;
 use obase::workload as wl;
+use std::sync::Arc;
+
+/// Worker counts a test sweeps. CI overrides via `OBASE_EQUIV_WORKERS`
+/// (comma-separated, e.g. `OBASE_EQUIV_WORKERS=1`) to pin the whole suite to
+/// one count per job — single-worker degeneracy and high-contention paths
+/// are exercised in separate jobs on every push.
+fn worker_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("OBASE_EQUIV_WORKERS") {
+        Ok(list) => list
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .expect("OBASE_EQUIV_WORKERS takes comma-separated positive integers")
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
 
 /// Seeded workload variety: banking (nested transfers + audits), counters
 /// (commuting hotspot) and dictionaries (reads/inserts/deletes), rotated by
@@ -66,35 +85,153 @@ fn is_strict(spec: &SchedulerSpec) -> bool {
 }
 
 /// The acceptance gate: 100 seeds × every built-in spec (plus the mixed
-/// composition) on 4 workers, every history past the full oracle.
+/// composition), every history past the full oracle. Defaults to 4 workers;
+/// CI re-runs the suite pinned to 1 and 8 via `OBASE_EQUIV_WORKERS`.
 #[test]
 fn hundred_seed_oracle_over_all_builtin_specs() {
     let mut specs = SchedulerSpec::all_basic();
     specs.push(SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()));
+    let workers = worker_counts(&[4]);
     let mut runs = 0usize;
-    for seed in 0..100u64 {
-        let workload = workload_for(seed);
-        for spec in &specs {
-            let report = parallel_runtime(spec.clone(), 4)
-                .run(&workload)
-                .expect("well-formed generated workload");
-            assert!(
-                !report.metrics.timed_out,
-                "{} deadlined on seed {seed}",
-                report.scheduler
-            );
-            report.assert_serialisable();
-            if is_strict(spec) {
-                assert_eq!(
-                    report.metrics.cascading_aborts, 0,
-                    "strict scheduler {} cascaded on seed {seed}",
+    for &w in &workers {
+        for seed in 0..100u64 {
+            let workload = workload_for(seed);
+            for spec in &specs {
+                let report = parallel_runtime(spec.clone(), w)
+                    .run(&workload)
+                    .expect("well-formed generated workload");
+                assert!(
+                    !report.metrics.timed_out,
+                    "{} deadlined on seed {seed} ({w} workers)",
                     report.scheduler
                 );
+                report.assert_serialisable();
+                if is_strict(spec) {
+                    assert_eq!(
+                        report.metrics.cascading_aborts, 0,
+                        "strict scheduler {} cascaded on seed {seed} ({w} workers)",
+                        report.scheduler
+                    );
+                }
+                runs += 1;
             }
-            runs += 1;
         }
     }
-    assert_eq!(runs, 100 * specs.len());
+    assert_eq!(runs, workers.len() * 100 * specs.len());
+}
+
+/// Mixed per-object compositions (Section 2's vision): uniform defaults,
+/// heterogeneous per-object policies, and the certifier-only coverage of
+/// objects with no dedicated policy — all through the one oracle, at worker
+/// counts {1, 2, 8}.
+#[test]
+fn mixed_scheduler_specs_pass_the_oracle() {
+    let mixed_specs = vec![
+        SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_operation()),
+        SchedulerSpec::mixed_with_default(SchedulerSpec::nto_provisional()),
+        // Heterogeneous: one counter under step locks, one under operation
+        // locks, the rest (if any) under the default NTO policy.
+        SchedulerSpec::Mixed {
+            default_intra: Some(Box::new(SchedulerSpec::nto_conservative())),
+            per_object: vec![
+                (ObjectId(0), SchedulerSpec::n2pl_step()),
+                (ObjectId(1), SchedulerSpec::n2pl_operation()),
+            ],
+        },
+        // No default: objects without a dedicated policy are covered by the
+        // inter-object certifier alone.
+        SchedulerSpec::Mixed {
+            default_intra: None,
+            per_object: vec![(ObjectId(0), SchedulerSpec::n2pl_step())],
+        },
+    ];
+    for &workers in &worker_counts(&[1, 2, 8]) {
+        for seed in [5u64, 23, 71] {
+            let workload = workload_for(seed);
+            for spec in &mixed_specs {
+                let report = parallel_runtime(spec.clone(), workers)
+                    .run(&workload)
+                    .expect("well-formed generated workload");
+                assert!(
+                    !report.metrics.timed_out,
+                    "{} deadlined on seed {seed} ({workers} workers)",
+                    report.scheduler
+                );
+                report.assert_serialisable();
+            }
+        }
+    }
+}
+
+/// A deadlock-heavy hot-key workload: transactions write the same two hot
+/// registers in opposite orders, the classic deadlock shape under strict
+/// operation-level N2PL. At 1 worker the schedule is degenerate (no
+/// inter-transaction interleaving, so nothing may deadlock or abort); at 2
+/// and 8 the monitor must keep breaking cycles until everything commits —
+/// with a serialisable history and zero cascades every time.
+#[test]
+fn deadlock_heavy_hot_keys_across_worker_counts() {
+    let mut base = ObjectBase::new();
+    let x = base.add_object("x", Arc::new(obase::adt::Register::default()));
+    let y = base.add_object("y", Arc::new(obase::adt::Register::default()));
+    let mut def = ObjectBaseDef::new(Arc::new(base));
+    for o in [x, y] {
+        def.define_method(
+            o,
+            MethodDef {
+                name: "set".into(),
+                params: 1,
+                body: Program::Local {
+                    op: "Write".into(),
+                    args: vec![Expr::Param(0)],
+                },
+            },
+        );
+    }
+    let transactions: Vec<TxnSpec> = (0..8)
+        .map(|i| {
+            let (first, second) = if i % 2 == 0 { (x, y) } else { (y, x) };
+            TxnSpec {
+                name: format!("T{i}"),
+                body: Program::Seq(vec![
+                    Program::invoke(first, "set", [Value::Int(i)]),
+                    Program::invoke(second, "set", [Value::Int(i)]),
+                ]),
+            }
+        })
+        .collect();
+    let workload = WorkloadSpec { def, transactions };
+    for &workers in &worker_counts(&[1, 2, 8]) {
+        // The deadlock window depends on the OS interleaving; repeat so each
+        // worker count sees plenty of real contention.
+        for _ in 0..5 {
+            let report = parallel_runtime(SchedulerSpec::n2pl_operation(), workers)
+                .run(&workload)
+                .expect("well-formed workload");
+            assert_eq!(
+                report.metrics.committed,
+                8,
+                "lost transactions at {workers} workers: {}",
+                report.summary()
+            );
+            assert!(!report.metrics.timed_out);
+            report.assert_serialisable();
+            assert_eq!(
+                report.metrics.cascading_aborts, 0,
+                "strict N2PL cascaded at {workers} workers"
+            );
+            if workers == 1 {
+                // Degenerate single-worker schedule: serial execution, no
+                // deadlocks possible between top-level transactions.
+                assert_eq!(report.metrics.deadlocks, 0, "{}", report.summary());
+            }
+            // Every abort the run did record must be a deadlock (bucketed
+            // under its variant key).
+            for reason in report.metrics.aborts_by_reason.keys() {
+                assert_eq!(reason, "deadlock");
+            }
+        }
+    }
 }
 
 /// Strict blocking schedulers must settle every transaction (deadlock
