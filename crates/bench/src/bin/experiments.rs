@@ -29,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1usize;
     let mut out_path: Option<String> = None;
+    let mut assert_scaling = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -42,6 +43,9 @@ fn main() {
             "--out" => {
                 out_path = Some(it.next().expect("--out takes a path"));
             }
+            // CI guard: fail the process if the e10 low-contention sweep
+            // shows 8 workers regressing below the 1-worker point.
+            "--assert-scaling" => assert_scaling = true,
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -93,6 +97,11 @@ fn main() {
             "E9 — backend face-off: simulator vs multi-threaded engine (wall clock)",
             Box::new(xp::e9_backend_faceoff),
         ),
+        (
+            "e10",
+            "E10 — worker-scaling curves of the parallel backend (wall clock)",
+            Box::new(xp::e10_worker_scaling),
+        ),
     ];
 
     let mut results: Vec<(&str, &str, Vec<xp::Row>)> = Vec::new();
@@ -104,6 +113,20 @@ fn main() {
         let rows = f(scale);
         println!("{}", xp::render_table(title, &rows));
         results.push((key, title, rows));
+    }
+    if assert_scaling {
+        let e10 = results
+            .iter()
+            .find(|(key, _, _)| *key == "e10")
+            .map(|(_, _, rows)| rows.as_slice())
+            .expect("--assert-scaling requires the e10 experiment to run");
+        match xp::check_scaling_guard(e10) {
+            Ok(()) => eprintln!("scaling guard: ok (8 workers ≥ 1 worker on low contention)"),
+            Err(msg) => {
+                eprintln!("scaling guard FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     // The default BENCH_results.json is the committed record of the full
     // line-up, so only full runs refresh it; a subset (or a typo'd key)

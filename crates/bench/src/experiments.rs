@@ -529,6 +529,120 @@ pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
     rows
 }
 
+/// E10 — worker-scaling curves of the parallel backend (the decomposed
+/// control plane's headline measurement): a worker sweep over a
+/// low-contention uniform workload (transactions rarely conflict, so
+/// throughput is limited purely by control-plane contention) and a
+/// high-contention hot-key workload (every transaction fights over one
+/// object). Each point records `wall_throughput` so `BENCH_results.json`
+/// carries a scaling trajectory for this and every future perf PR.
+///
+/// Each point is the best of three runs (wall-clock measurements on loaded
+/// machines are noisy; the max is the honest capability estimate).
+pub fn e10_worker_scaling(scale: usize) -> Vec<Row> {
+    let workers = [1usize, 2, 4, 8, 16];
+    let cases: Vec<(&str, WorkloadSpec)> = vec![
+        (
+            "low-contention uniform",
+            wl::scaling(&wl::ScalingParams {
+                objects: 64,
+                transactions: 192 * scale,
+                invokes_per_txn: 4,
+                ops_per_invoke: 8,
+                read_fraction: 0.2,
+                skew: 0.0,
+                seed: 1010,
+            }),
+        ),
+        (
+            "high-contention hot-key",
+            wl::scaling(&wl::ScalingParams {
+                objects: 4,
+                transactions: 96 * scale,
+                invokes_per_txn: 3,
+                ops_per_invoke: 6,
+                read_fraction: 0.35,
+                skew: 2.5,
+                seed: 1010,
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, workload) in &cases {
+        let mut base_throughput = 0.0f64;
+        for &w in &workers {
+            let mut best: Option<RunMetrics> = None;
+            for _ in 0..3 {
+                let report = Runtime::builder()
+                    .scheduler(SchedulerSpec::n2pl_operation())
+                    .backend(ExecutionBackend::Parallel { workers: w })
+                    .retries(256)
+                    .verify(Verify::Quick)
+                    .build()
+                    .expect("valid experiment configuration")
+                    .run(workload)
+                    .expect("well-formed generated workload");
+                assert!(
+                    report.checks.all_passed(),
+                    "{} at {w} workers produced a non-serialisable history",
+                    report.scheduler
+                );
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| report.metrics.wall_throughput() > b.wall_throughput());
+                if better {
+                    best = Some(report.metrics);
+                }
+            }
+            let m = best.expect("two runs happened");
+            if w == 1 {
+                base_throughput = m.wall_throughput();
+            }
+            let speedup = if base_throughput > 0.0 {
+                m.wall_throughput() / base_throughput
+            } else {
+                0.0
+            };
+            rows.push(
+                Row::new(format!("{label} / {w} workers"))
+                    .with("workers", w as f64)
+                    .with("committed", m.committed as f64)
+                    .with("aborts", m.aborts as f64)
+                    .with("blocked", m.blocked_events as f64)
+                    .with("wall_ms", m.wall_micros as f64 / 1000.0)
+                    .with("wall_throughput", m.wall_throughput())
+                    .with("speedup_vs_1w", speedup)
+                    .with_histogram("aborts_by_reason", abort_reasons(&m)),
+            );
+        }
+    }
+    rows
+}
+
+/// The CI anti-thundering-herd guard over [`e10_worker_scaling`] rows: on
+/// the low-contention workload, 8-worker wall-throughput must not regress
+/// below the 1-worker point (generous tolerance — adding workers must never
+/// *cost* throughput the way the broadcast-wakeup control plane did).
+pub fn check_scaling_guard(rows: &[Row]) -> Result<(), String> {
+    const TOLERANCE: f64 = 0.6;
+    let point = |w: f64| {
+        rows.iter()
+            .find(|r| r.label.starts_with("low-contention") && r.values.get("workers") == Some(&w))
+            .and_then(|r| r.values.get("wall_throughput").copied())
+            .ok_or_else(|| format!("e10 rows missing the low-contention {w}-worker point"))
+    };
+    let one = point(1.0)?;
+    let eight = point(8.0)?;
+    if eight < one * TOLERANCE {
+        return Err(format!(
+            "8-worker wall-throughput regressed below the 1-worker point: \
+             {eight:.0} < {TOLERANCE} × {one:.0} txn/s — thundering-herd or \
+             control-plane contention reintroduced"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +695,32 @@ mod tests {
                 r.label
             );
         }
+    }
+
+    #[test]
+    fn scaling_guard_reads_e10_rows() {
+        let rows = vec![
+            Row::new("low-contention uniform / 1 workers")
+                .with("workers", 1.0)
+                .with("wall_throughput", 1000.0),
+            Row::new("low-contention uniform / 8 workers")
+                .with("workers", 8.0)
+                .with("wall_throughput", 900.0),
+            Row::new("high-contention hot-key / 8 workers")
+                .with("workers", 8.0)
+                .with("wall_throughput", 1.0),
+        ];
+        assert!(check_scaling_guard(&rows).is_ok());
+        let rows = vec![
+            Row::new("low-contention uniform / 1 workers")
+                .with("workers", 1.0)
+                .with("wall_throughput", 1000.0),
+            Row::new("low-contention uniform / 8 workers")
+                .with("workers", 8.0)
+                .with("wall_throughput", 100.0),
+        ];
+        assert!(check_scaling_guard(&rows).is_err());
+        assert!(check_scaling_guard(&[]).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod experiments;
 pub mod quick;
 
 pub use experiments::{
-    e1_flat_vs_nested, e2_queue_locks, e3_semantic_conflict, e4_n2pl_vs_nto, e5_sg_checkers,
-    e6_mixed_cc, e7_internal_parallelism, e8_core_scaling, e9_backend_faceoff, render_table,
-    results_json, Row,
+    check_scaling_guard, e10_worker_scaling, e1_flat_vs_nested, e2_queue_locks,
+    e3_semantic_conflict, e4_n2pl_vs_nto, e5_sg_checkers, e6_mixed_cc, e7_internal_parallelism,
+    e8_core_scaling, e9_backend_faceoff, render_table, results_json, Row,
 };

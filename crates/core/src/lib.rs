@@ -22,6 +22,8 @@
 //! * **Per-object graphs and the intra-/inter-object separation**
 //!   (Definition 10, Theorem 5): [`local_graphs`].
 //! * **Abort semantics** (Section 3): [`aborts`].
+//! * **Append-only history recording** for concurrent backends (per-worker
+//!   event buffers stitched by a global sequence counter): [`record`].
 //! * **The scheduler interface** used by the concurrency-control crates
 //!   (`obase-lock`, `obase-tso`, `obase-occ`) and the execution engine
 //!   (`obase-exec`): [`sched`].
@@ -75,6 +77,7 @@ pub mod lifecycle;
 pub mod local_graphs;
 pub mod object;
 pub mod op;
+pub mod record;
 pub mod replay;
 pub mod sched;
 pub mod sg;

@@ -248,6 +248,45 @@ pub trait Scheduler: Send {
 
     /// The execution aborted (locks are released, timestamps forgotten, ...).
     fn on_abort(&mut self, _exec: ExecId, _view: &dyn TxnView) {}
+
+    /// Returns a fresh, empty scheduler of the same configuration if this
+    /// scheduler is *per-object decomposable* — the paper's per-object
+    /// scheduler decomposition (each object synchronises independently),
+    /// which the parallel backend exploits by running one instance per
+    /// object shard behind its own lock.
+    ///
+    /// Returning `Some` promises all of the following, per instance:
+    ///
+    /// * decision state is keyed purely by object: the outcome of
+    ///   [`request_invoke`], [`request_local`] and [`validate_step`] for an
+    ///   object depends only on prior hooks *for that object* (plus the
+    ///   immutable genealogy in the [`TxnView`] — `parent`, `object_of`,
+    ///   `type_of`; `is_live` must not be relied on, as the decomposed view
+    ///   may be slightly stale);
+    /// * [`on_begin`] is delivered to every instance in execution-id order
+    ///   (the backend guarantees this), and the scheduler derives any
+    ///   per-execution state (e.g. NTO timestamps) deterministically from
+    ///   that order — so all instances agree on it;
+    /// * [`on_commit`] / [`on_abort`] / [`certify_commit`] tolerate being
+    ///   delivered only to instances whose objects the execution's
+    ///   transaction touched, and tolerate the per-instance delivery being
+    ///   non-atomic across instances (a transaction's resources may be
+    ///   released shard by shard).
+    ///
+    /// Schedulers with inherently global state (an inter-object
+    /// serialisation graph, for instance) must return `None` (the default);
+    /// the backend then runs the single instance behind one lock.
+    ///
+    /// [`request_invoke`]: Scheduler::request_invoke
+    /// [`request_local`]: Scheduler::request_local
+    /// [`validate_step`]: Scheduler::validate_step
+    /// [`on_begin`]: Scheduler::on_begin
+    /// [`on_commit`]: Scheduler::on_commit
+    /// [`on_abort`]: Scheduler::on_abort
+    /// [`certify_commit`]: Scheduler::certify_commit
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        None
+    }
 }
 
 /// A scheduler that grants everything. It performs no synchronisation at all
@@ -260,6 +299,11 @@ pub struct NullScheduler;
 impl Scheduler for NullScheduler {
     fn name(&self) -> String {
         "none".to_owned()
+    }
+
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        // Stateless, so trivially decomposable.
+        Some(Box::new(NullScheduler))
     }
 }
 

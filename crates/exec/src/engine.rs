@@ -36,6 +36,7 @@
 use crate::kernel::LifecycleKernel;
 use crate::program::{Expr, ObjRef, Program, WorkloadSpec};
 use crate::store::ObjectStore;
+use obase_core::builder::HistoryBuilder;
 use obase_core::graph::DiGraph;
 use obase_core::ids::{ExecId, StepId};
 use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
@@ -115,6 +116,7 @@ struct EngineState {
     specs: Vec<crate::program::TxnSpec>,
     config: ExecParams,
     kernel: LifecycleKernel,
+    builder: HistoryBuilder,
     store: ObjectStore,
     side: Vec<SideMeta>,
     threads: Vec<Thread>,
@@ -138,7 +140,10 @@ impl ExecutionDriver for SimDriver<'_> {
         reason: &AbortReason,
         cascade: bool,
     ) -> Option<Vec<ExecId>> {
-        let subtree = self.st.kernel.mark_abort_subtree(top, reason, cascade)?;
+        let subtree =
+            self.st
+                .kernel
+                .mark_abort_subtree(&mut self.st.builder, top, reason, cascade)?;
         let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
         for th in &mut self.st.threads {
             if subtree_set.contains(&th.exec) {
@@ -181,6 +186,8 @@ impl ExecutionDriver for SimDriver<'_> {
 impl EngineState {
     fn new(workload: &WorkloadSpec, config: &ExecParams, scheduler_name: String) -> Self {
         let base = std::sync::Arc::clone(workload.def.base());
+        let mut builder = HistoryBuilder::new(std::sync::Arc::clone(&base));
+        builder.set_auto_program_order(false);
         EngineState {
             def: workload.def.clone(),
             specs: workload.transactions.clone(),
@@ -192,6 +199,7 @@ impl EngineState {
                 scheduler_name,
                 "simulated".to_owned(),
             ),
+            builder,
             store: ObjectStore::new(base),
             side: Vec::new(),
             threads: Vec::new(),
@@ -210,7 +218,9 @@ impl EngineState {
                 break;
             };
             let spec = &self.specs[p.spec];
-            let top = self.kernel.admit_top(scheduler, spec.name.clone(), p);
+            let top = self
+                .kernel
+                .admit_top(scheduler, &mut self.builder, &spec.name, p);
             self.side.push(SideMeta::default());
             let body = spec.body.clone();
             self.threads.push(Thread {
@@ -368,7 +378,7 @@ impl EngineState {
         let prev = self.threads[tid].prev_step;
         let sid = self
             .kernel
-            .install_step(scheduler, exec, object, step, prev);
+            .install_step(scheduler, &mut self.builder, exec, object, step, prev);
         let th = &mut self.threads[tid];
         th.prev_step = Some(sid);
         th.last_value = ret;
@@ -410,9 +420,15 @@ impl EngineState {
             .method(target, &method)
             .unwrap_or_else(|| panic!("object {target:?} has no method {method:?}"));
         let prev = self.threads[tid].prev_step;
-        let (msg, child) =
-            self.kernel
-                .begin_nested(scheduler, exec, target, method, args.clone(), prev);
+        let (msg, child) = self.kernel.begin_nested(
+            scheduler,
+            &mut self.builder,
+            exec,
+            target,
+            &method,
+            args.clone(),
+            prev,
+        );
         self.side.push(SideMeta {
             args,
             msg_step: Some(msg),
@@ -460,10 +476,13 @@ impl EngineState {
                 let msg = self.side[exec.index()]
                     .msg_step
                     .expect("nested execution has a message step");
-                if let Err(reason) = self
-                    .kernel
-                    .commit_nested(scheduler, exec, msg, retval.clone())
-                {
+                if let Err(reason) = self.kernel.commit_nested(
+                    scheduler,
+                    &mut self.builder,
+                    exec,
+                    msg,
+                    retval.clone(),
+                ) {
                     let top = self.kernel.execs.top_of(exec);
                     self.abort_top_level(scheduler, top, reason);
                     return;
@@ -549,7 +568,10 @@ pub fn execute(
         st.kernel.metrics.timed_out = true;
     }
     st.kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
-    st.kernel.into_result()
+    let EngineState {
+        kernel, builder, ..
+    } = st;
+    kernel.into_result(builder.build())
 }
 
 #[cfg(test)]

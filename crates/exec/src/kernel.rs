@@ -1,7 +1,7 @@
 //! The transaction-lifecycle kernel: the single source of truth for the
 //! request → provisional → validate → install lifecycle, commit
 //! certification, abort undo ordering, cascade resolution, retry accounting
-//! and history/metrics recording — shared by every execution backend.
+//! and metrics — shared by every execution backend.
 //!
 //! The deterministic simulator (`engine` in this crate) and the
 //! multi-threaded engine (`obase-par`) are *drivers* over this kernel: they
@@ -12,6 +12,25 @@
 //! shared abort loop ([`resolve_abort`](obase_core::lifecycle::resolve_abort))
 //! and the [`ExecutionDriver`](obase_core::lifecycle::ExecutionDriver)
 //! contract its drivers implement.
+//!
+//! ## Recording is injected, scheduling is injected
+//!
+//! The kernel owns no history builder and no scheduler. Every method that
+//! records history takes a [`HistoryRecorder`], and every method that
+//! consults the concurrency-control algorithm takes a
+//! [`Scheduler`] — because the two backends store both differently:
+//!
+//! * the simulator passes its [`HistoryBuilder`](obase_core::builder) and
+//!   its one scheduler directly (single-threaded, final ids immediately);
+//! * the parallel backend passes per-activity
+//!   [`BufferedRecorder`](obase_core::record::BufferedRecorder)s (so
+//!   install recording never takes the lifecycle lock) and routes scheduler
+//!   hooks through its sharded scheduler plane. It therefore calls the
+//!   scheduler-free *transition* methods here ([`register_top`],
+//!   [`register_nested`], [`settle_commit_nested`], [`settle_commit_top`],
+//!   [`account_release`]) and performs the hook broadcasts itself; the
+//!   scheduler-taking wrappers below compose exactly those transitions with
+//!   the hooks, so both backends run the same lifecycle code.
 //!
 //! ## The lifecycle, in kernel calls
 //!
@@ -33,14 +52,20 @@
 //! phase 3, strictly after phase 2 removed the dirty state, so strict
 //! schedulers never expose uncommitted effects and never cascade — on
 //! either backend.
+//!
+//! [`register_top`]: LifecycleKernel::register_top
+//! [`register_nested`]: LifecycleKernel::register_nested
+//! [`settle_commit_nested`]: LifecycleKernel::settle_commit_nested
+//! [`settle_commit_top`]: LifecycleKernel::settle_commit_top
+//! [`account_release`]: LifecycleKernel::account_release
 
 use crate::metrics::RunMetrics;
-use obase_core::builder::HistoryBuilder;
 use obase_core::history::History;
 use obase_core::ids::{ExecId, ObjectId, StepId};
 use obase_core::lifecycle::{CascadeVictim, ExecRecord, ExecTable};
 use obase_core::object::ObjectBase;
 use obase_core::op::{LocalStep, Operation};
+use obase_core::record::HistoryRecorder;
 use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
 use std::collections::{BTreeSet, VecDeque};
@@ -62,6 +87,8 @@ pub struct AbortRelease {
     /// `true` if the victim had already committed when it was aborted (only
     /// possible under non-strict schedulers); its commit has been uncounted.
     pub was_committed: bool,
+    /// `true` if the victim was re-queued for another attempt.
+    pub retried: bool,
     /// Top-level transactions that performed dirty reads of the undone state
     /// and must now be cascade-aborted, with their commit status. May contain
     /// duplicates; the abort loop's idempotence makes that harmless.
@@ -69,20 +96,20 @@ pub struct AbortRelease {
 }
 
 /// The backend-agnostic lifecycle state of one run: the execution registry,
-/// the history recorder, the pending/retry queue and the run metrics.
+/// the pending/retry queue and the run metrics.
 ///
 /// Exactly one kernel exists per run. The simulator owns it directly; the
-/// parallel backend keeps it inside its control-plane mutex. Every method
-/// takes the scheduler as an argument because the two backends store it
-/// differently (borrowed mutably vs. boxed under the same mutex).
+/// parallel backend keeps it behind its lifecycle mutex (one of the three
+/// independently locked control-plane pieces).
 #[derive(Debug)]
 pub struct LifecycleKernel {
-    builder: HistoryBuilder,
     /// The execution registry (parents, objects, liveness, retry specs).
     pub execs: ExecTable,
     queue: VecDeque<Pending>,
     /// Counters collected during the run. Drivers update their own fields
-    /// (`rounds`, `deadlocks`, `timed_out`, `wall_micros`); every
+    /// (`rounds`, `deadlocks`, `timed_out`, `wall_micros`, and — for the
+    /// parallel backend, which counts them with atomics off the lifecycle
+    /// lock — `installed_steps`/`blocked_events`); every other
     /// lifecycle-owned counter is maintained by kernel methods.
     pub metrics: RunMetrics,
     max_retries: u32,
@@ -90,7 +117,7 @@ pub struct LifecycleKernel {
 
 impl LifecycleKernel {
     /// Creates the kernel for one run: every transaction of the workload
-    /// queued for admission, empty history, zeroed metrics.
+    /// queued for admission, zeroed metrics.
     pub fn new(
         base: Arc<ObjectBase>,
         transactions: usize,
@@ -98,10 +125,7 @@ impl LifecycleKernel {
         scheduler_name: String,
         backend_label: String,
     ) -> Self {
-        let mut builder = HistoryBuilder::new(Arc::clone(&base));
-        builder.set_auto_program_order(false);
         LifecycleKernel {
-            builder,
             execs: ExecTable::new(base),
             queue: (0..transactions)
                 .map(|spec| Pending { spec, attempt: 0 })
@@ -134,16 +158,17 @@ impl LifecycleKernel {
         self.queue.clear();
     }
 
-    /// Admits a top-level transaction: records it in the history and the
-    /// registry and announces it to the scheduler. Returns its execution id.
-    pub fn admit_top(
+    /// Transition: registers a top-level transaction — allocates its
+    /// execution id, records it in the history and the registry. The caller
+    /// announces it to the scheduler (`on_begin`) afterwards.
+    pub fn register_top(
         &mut self,
-        scheduler: &mut dyn Scheduler,
-        name: String,
+        rec: &mut dyn HistoryRecorder,
+        name: &str,
         pending: Pending,
     ) -> ExecId {
-        let top = self.builder.begin_top_level(name);
-        debug_assert_eq!(top.index(), self.execs.len());
+        let top = ExecId(self.execs.len() as u32);
+        rec.record_begin_top(top, name);
         self.execs.push(ExecRecord {
             parent: None,
             object: ObjectId::ENVIRONMENT,
@@ -153,6 +178,21 @@ impl LifecycleKernel {
             spec: Some((pending.spec, pending.attempt)),
             children: Vec::new(),
         });
+        top
+    }
+
+    /// Admits a top-level transaction: [`register_top`] plus the scheduler
+    /// announcement. Returns its execution id.
+    ///
+    /// [`register_top`]: LifecycleKernel::register_top
+    pub fn admit_top(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
+        name: &str,
+        pending: Pending,
+    ) -> ExecId {
+        let top = self.register_top(rec, name, pending);
         scheduler.on_begin(top, None, ObjectId::ENVIRONMENT, &self.execs.view());
         top
     }
@@ -216,43 +256,45 @@ impl LifecycleKernel {
     /// program-order predecessor.
     ///
     /// Takes the step by value so its operation and return value move into
-    /// the history without re-cloning on the hot path (in the parallel
-    /// backend this runs inside the shard + control-plane critical section).
-    /// The scheduler hook fires before the move; schedulers cannot observe
-    /// the history, so the ordering is indistinguishable to them.
+    /// the history without re-cloning on the hot path. The scheduler hook
+    /// fires before the move; schedulers cannot observe the history, so the
+    /// ordering is indistinguishable to them.
     pub fn install_step(
         &mut self,
         scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
         exec: ExecId,
         object: ObjectId,
         step: LocalStep,
         prev_step: Option<StepId>,
     ) -> StepId {
         scheduler.on_step_installed(exec, object, &step, &self.execs.view());
-        let sid = self.builder.local(exec, step.op, step.ret);
+        let sid = rec.record_local(exec, step.op, step.ret);
         if let Some(prev) = prev_step {
-            self.builder.program_order_edge(exec, prev, sid);
+            rec.record_program_order(exec, prev, sid);
         }
         self.metrics.installed_steps += 1;
         sid
     }
 
-    /// Begins a nested method execution: records the message step (with its
-    /// program-order edge), registers the child and announces it to the
-    /// scheduler. Returns the message step id and the child's execution id.
-    pub fn begin_nested(
+    /// Transition: registers a nested method execution — allocates the child
+    /// id, records the message step (with its program-order edge) and the
+    /// registry entry. The caller announces the child to the scheduler
+    /// (`on_begin`) afterwards. Returns the message step id and the child's
+    /// execution id.
+    pub fn register_nested(
         &mut self,
-        scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
         parent: ExecId,
         target: ObjectId,
-        method: String,
+        method: &str,
         args: Vec<Value>,
         prev_step: Option<StepId>,
     ) -> (StepId, ExecId) {
-        let (msg, child) = self.builder.invoke(parent, target, method, args);
-        debug_assert_eq!(child.index(), self.execs.len());
+        let child = ExecId(self.execs.len() as u32);
+        let msg = rec.record_invoke(parent, child, target, method, args);
         if let Some(prev) = prev_step {
-            self.builder.program_order_edge(parent, prev, msg);
+            rec.record_program_order(parent, prev, msg);
         }
         self.execs.push(ExecRecord {
             parent: Some(parent),
@@ -264,11 +306,53 @@ impl LifecycleKernel {
             children: Vec::new(),
         });
         self.execs.record_mut(parent).children.push(child);
+        (msg, child)
+    }
+
+    /// Begins a nested method execution: [`register_nested`] plus the
+    /// scheduler announcement.
+    ///
+    /// [`register_nested`]: LifecycleKernel::register_nested
+    #[allow(clippy::too_many_arguments)] // the full lifecycle transition, spelled out
+    pub fn begin_nested(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
+        parent: ExecId,
+        target: ObjectId,
+        method: &str,
+        args: Vec<Value>,
+        prev_step: Option<StepId>,
+    ) -> (StepId, ExecId) {
+        let (msg, child) = self.register_nested(rec, parent, target, method, args, prev_step);
         scheduler.on_begin(child, Some(parent), target, &self.execs.view());
         (msg, child)
     }
 
     // ----- commits ----------------------------------------------------------
+
+    /// Transition: settles a certified nested commit in the registry. The
+    /// caller has already certified with the scheduler and fires `on_commit`
+    /// around this call; the message-step completion is recorded here.
+    pub fn settle_commit_nested(
+        &mut self,
+        rec: &mut dyn HistoryRecorder,
+        child: ExecId,
+        msg: StepId,
+        retval: Value,
+    ) {
+        self.execs.record_mut(child).live = false;
+        rec.record_complete(msg, retval);
+    }
+
+    /// Transition: settles a certified top-level commit in the registry and
+    /// the metrics.
+    pub fn settle_commit_top(&mut self, top: ExecId) {
+        let record = self.execs.record_mut(top);
+        record.live = false;
+        record.committed = true;
+        self.metrics.committed += 1;
+    }
 
     /// Certifies and commits a finished nested execution: the scheduler may
     /// veto (certifiers validate here; a [`Decision::Block`] at commit is
@@ -281,14 +365,14 @@ impl LifecycleKernel {
     pub fn commit_nested(
         &mut self,
         scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
         child: ExecId,
         msg: StepId,
         retval: Value,
     ) -> Result<(), AbortReason> {
         self.certify(scheduler, child)?;
         scheduler.on_commit(child, &self.execs.view());
-        self.execs.record_mut(child).live = false;
-        self.builder.complete_invoke(msg, retval);
+        self.settle_commit_nested(rec, child, msg, retval);
         Ok(())
     }
 
@@ -301,14 +385,17 @@ impl LifecycleKernel {
     ) -> Result<(), AbortReason> {
         self.certify(scheduler, top)?;
         scheduler.on_commit(top, &self.execs.view());
-        let record = self.execs.record_mut(top);
-        record.live = false;
-        record.committed = true;
-        self.metrics.committed += 1;
+        self.settle_commit_top(top);
         Ok(())
     }
 
-    fn certify(&mut self, scheduler: &mut dyn Scheduler, exec: ExecId) -> Result<(), AbortReason> {
+    /// The shared certification rule: an abort decision vetoes the commit; a
+    /// block decision at commit time is a grant (on both backends).
+    pub fn certify(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        exec: ExecId,
+    ) -> Result<(), AbortReason> {
         match scheduler.certify_commit(exec, &self.execs.view()) {
             Decision::Abort(reason) => Err(reason),
             Decision::Block { .. } | Decision::Grant => Ok(()),
@@ -328,6 +415,7 @@ impl LifecycleKernel {
     /// strict scheduler.
     pub fn mark_abort_subtree(
         &mut self,
+        rec: &mut dyn HistoryRecorder,
         top: ExecId,
         reason: &AbortReason,
         cascade: bool,
@@ -340,7 +428,7 @@ impl LifecycleKernel {
             let record = self.execs.record_mut(e);
             record.aborted = true;
             record.live = false;
-            self.builder.abort(e);
+            rec.record_abort(e);
         }
         self.metrics.record_abort(reason);
         if cascade {
@@ -349,24 +437,19 @@ impl LifecycleKernel {
         Some(subtree)
     }
 
-    /// Abort phase 3, after the store undo: releases the subtree's scheduler
-    /// resources (children before parents), uncounts a cascade-reverted
-    /// commit, schedules the retry (budget and driver permitting) and maps
-    /// the undo's invalidated dirty readers to their top-level cascade
-    /// victims.
-    pub fn release_aborted(
+    /// Transition: the scheduler-free accounting half of abort phase 3 —
+    /// uncounts a cascade-reverted commit, schedules the retry (budget and
+    /// driver permitting) and maps the undo's invalidated dirty readers to
+    /// their top-level cascade victims. The caller releases the subtree's
+    /// scheduler resources (children before parents) around this call.
+    pub fn account_release(
         &mut self,
-        scheduler: &mut dyn Scheduler,
         top: ExecId,
-        subtree: &[ExecId],
         removed_steps: usize,
         invalidated: BTreeSet<ExecId>,
         allow_retry: bool,
     ) -> AbortRelease {
         self.metrics.wasted_steps += removed_steps as u64;
-        for &e in subtree.iter().rev() {
-            scheduler.on_abort(e, &self.execs.view());
-        }
         let record = self.execs.record_mut(top);
         let was_committed = record.committed;
         if was_committed {
@@ -375,6 +458,7 @@ impl LifecycleKernel {
             record.committed = false;
             self.metrics.committed = self.metrics.committed.saturating_sub(1);
         }
+        let mut retried = false;
         if let Some((spec, attempt)) = self.execs.record(top).spec {
             if attempt < self.max_retries && allow_retry {
                 self.queue.push_back(Pending {
@@ -382,6 +466,7 @@ impl LifecycleKernel {
                     attempt: attempt + 1,
                 });
                 self.metrics.retries += 1;
+                retried = true;
             } else {
                 self.metrics.gave_up += 1;
             }
@@ -397,16 +482,36 @@ impl LifecycleKernel {
             .collect();
         AbortRelease {
             was_committed,
+            retried,
             victims,
         }
     }
 
+    /// Abort phase 3, after the store undo: releases the subtree's scheduler
+    /// resources (children before parents) and runs [`account_release`].
+    ///
+    /// [`account_release`]: LifecycleKernel::account_release
+    pub fn release_aborted(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        top: ExecId,
+        subtree: &[ExecId],
+        removed_steps: usize,
+        invalidated: BTreeSet<ExecId>,
+        allow_retry: bool,
+    ) -> AbortRelease {
+        for &e in subtree.iter().rev() {
+            scheduler.on_abort(e, &self.execs.view());
+        }
+        self.account_release(top, removed_steps, invalidated, allow_retry)
+    }
+
     // ----- run finish -------------------------------------------------------
 
-    /// Finishes the run: builds the raw history, projects the committed
-    /// (legal) history and hands out the metrics.
-    pub fn into_result(self) -> RunResult {
-        let raw_history = self.builder.build();
+    /// Finishes the run: takes the raw recorded history (built by the
+    /// driver's recorder), projects the committed (legal) history and hands
+    /// out the metrics.
+    pub fn into_result(self, raw_history: History) -> RunResult {
         let history = raw_history.committed_projection();
         RunResult {
             history,
@@ -435,20 +540,25 @@ pub struct RunResult {
 mod tests {
     use super::*;
     use obase_adt::Register;
+    use obase_core::builder::HistoryBuilder;
     use obase_core::sched::NullScheduler;
 
-    fn kernel_for(n: usize) -> (LifecycleKernel, ObjectId) {
+    fn kernel_for(n: usize) -> (LifecycleKernel, HistoryBuilder, ObjectId) {
         let mut base = ObjectBase::new();
         let x = base.add_object("x", Arc::new(Register::default()));
+        let base = Arc::new(base);
+        let mut builder = HistoryBuilder::new(Arc::clone(&base));
+        builder.set_auto_program_order(false);
         (
-            LifecycleKernel::new(Arc::new(base), n, 2, "none".into(), "test".into()),
+            LifecycleKernel::new(base, n, 2, "none".into(), "test".into()),
+            builder,
             x,
         )
     }
 
     #[test]
     fn admission_drains_the_queue_in_order() {
-        let (mut k, _) = kernel_for(3);
+        let (mut k, mut b, _) = kernel_for(3);
         let mut sched = NullScheduler;
         for want in 0..3usize {
             let p = k.next_pending().unwrap();
@@ -459,7 +569,7 @@ mod tests {
                     attempt: 0
                 }
             );
-            let top = k.admit_top(&mut sched, format!("T{want}"), p);
+            let top = k.admit_top(&mut sched, &mut b, &format!("T{want}"), p);
             assert_eq!(top.index(), want);
             assert!(k.execs.record(top).live);
         }
@@ -469,48 +579,49 @@ mod tests {
 
     #[test]
     fn a_full_lifecycle_produces_a_committed_history() {
-        let (mut k, x) = kernel_for(1);
+        let (mut k, mut b, x) = kernel_for(1);
         let mut sched = NullScheduler;
         let p = k.next_pending().unwrap();
-        let top = k.admit_top(&mut sched, "T0".into(), p);
+        let top = k.admit_top(&mut sched, &mut b, "T0", p);
         assert!(k.request_invoke(&mut sched, top, x, "set").is_grant());
-        let (msg, child) = k.begin_nested(&mut sched, top, x, "set".into(), vec![], None);
+        let (msg, child) = k.begin_nested(&mut sched, &mut b, top, x, "set", vec![], None);
         let step = LocalStep::new(Operation::unary("Write", 5), Value::Unit);
         assert!(k.request_local(&mut sched, child, x, &step.op).is_grant());
         assert!(k.validate_step(&mut sched, child, x, &step).is_grant());
-        let sid = k.install_step(&mut sched, child, x, step.clone(), None);
-        let sid2 = k.install_step(&mut sched, child, x, step, Some(sid));
+        let sid = k.install_step(&mut sched, &mut b, child, x, step.clone(), None);
+        let sid2 = k.install_step(&mut sched, &mut b, child, x, step, Some(sid));
         assert_ne!(sid, sid2);
-        k.commit_nested(&mut sched, child, msg, Value::Unit)
+        k.commit_nested(&mut sched, &mut b, child, msg, Value::Unit)
             .unwrap();
         k.commit_top(&mut sched, top).unwrap();
         assert_eq!(k.metrics.committed, 1);
         assert_eq!(k.metrics.installed_steps, 2);
-        let result = k.into_result();
+        let result = k.into_result(b.build());
         assert_eq!(result.metrics.committed, 1);
         assert!(obase_core::legality::is_legal(&result.history));
     }
 
     #[test]
     fn abort_phases_retry_then_exhaust_the_budget() {
-        let (mut k, _) = kernel_for(1);
+        let (mut k, mut b, _) = kernel_for(1);
         let mut sched = NullScheduler;
         // Attempt 0 and the 2 budgeted retries abort; the final attempt
         // gives up.
         for attempt in 0..=2u32 {
             let p = k.next_pending().unwrap();
             assert_eq!(p.attempt, attempt);
-            let top = k.admit_top(&mut sched, "T0".into(), p);
+            let top = k.admit_top(&mut sched, &mut b, "T0", p);
             let subtree = k
-                .mark_abort_subtree(top, &AbortReason::Deadlock, false)
+                .mark_abort_subtree(&mut b, top, &AbortReason::Deadlock, false)
                 .unwrap();
             assert_eq!(subtree, vec![top]);
             // Idempotent: a second mark is a no-op.
             assert!(k
-                .mark_abort_subtree(top, &AbortReason::Deadlock, false)
+                .mark_abort_subtree(&mut b, top, &AbortReason::Deadlock, false)
                 .is_none());
             let release = k.release_aborted(&mut sched, top, &subtree, 0, BTreeSet::new(), true);
             assert!(!release.was_committed);
+            assert_eq!(release.retried, attempt < 2);
             assert!(release.victims.is_empty());
         }
         assert!(k.queue_is_empty());
@@ -522,14 +633,14 @@ mod tests {
 
     #[test]
     fn release_uncounts_cascade_reverted_commits_and_collects_victims() {
-        let (mut k, x) = kernel_for(2);
+        let (mut k, mut b, x) = kernel_for(2);
         let mut sched = NullScheduler;
         let p = k.next_pending().unwrap();
-        let writer = k.admit_top(&mut sched, "W".into(), p);
+        let writer = k.admit_top(&mut sched, &mut b, "W", p);
         let p = k.next_pending().unwrap();
-        let reader = k.admit_top(&mut sched, "R".into(), p);
-        let (rmsg, rchild) = k.begin_nested(&mut sched, reader, x, "get".into(), vec![], None);
-        k.commit_nested(&mut sched, rchild, rmsg, Value::Int(5))
+        let reader = k.admit_top(&mut sched, &mut b, "R", p);
+        let (rmsg, rchild) = k.begin_nested(&mut sched, &mut b, reader, x, "get", vec![], None);
+        k.commit_nested(&mut sched, &mut b, rchild, rmsg, Value::Int(5))
             .unwrap();
         k.commit_top(&mut sched, reader).unwrap();
         assert_eq!(k.metrics.committed, 1);
@@ -537,7 +648,7 @@ mod tests {
         // Abort the writer; the undo (driver-side, simulated here) reports
         // the reader's child as a dirty reader.
         let subtree = k
-            .mark_abort_subtree(writer, &AbortReason::Certification, false)
+            .mark_abort_subtree(&mut b, writer, &AbortReason::Certification, false)
             .unwrap();
         let invalidated: BTreeSet<ExecId> = [rchild].into_iter().collect();
         let release = k.release_aborted(&mut sched, writer, &subtree, 1, invalidated, true);
@@ -552,7 +663,7 @@ mod tests {
 
         // Cascade into the committed reader: its commit is uncounted.
         let subtree = k
-            .mark_abort_subtree(reader, &AbortReason::CascadingDirtyRead, true)
+            .mark_abort_subtree(&mut b, reader, &AbortReason::CascadingDirtyRead, true)
             .unwrap();
         let release = k.release_aborted(&mut sched, reader, &subtree, 0, BTreeSet::new(), true);
         assert!(release.was_committed);
@@ -562,12 +673,12 @@ mod tests {
 
     #[test]
     fn shutdown_suppresses_retries() {
-        let (mut k, _) = kernel_for(1);
+        let (mut k, mut b, _) = kernel_for(1);
         let mut sched = NullScheduler;
         let p = k.next_pending().unwrap();
-        let top = k.admit_top(&mut sched, "T0".into(), p);
+        let top = k.admit_top(&mut sched, &mut b, "T0", p);
         let subtree = k
-            .mark_abort_subtree(top, &AbortReason::Deadlock, false)
+            .mark_abort_subtree(&mut b, top, &AbortReason::Deadlock, false)
             .unwrap();
         k.release_aborted(&mut sched, top, &subtree, 0, BTreeSet::new(), false);
         assert!(k.queue_is_empty());

@@ -134,6 +134,15 @@ impl Scheduler for FlatObjectScheduler {
             self.table.release_all(exec);
         }
     }
+
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        // Whole-object strict 2PL: lock state is keyed per object, and lock
+        // ownership resolves through the immutable genealogy only.
+        Some(Box::new(FlatObjectScheduler {
+            table: LockTable::new(),
+            mode: self.mode,
+        }))
+    }
 }
 
 #[cfg(test)]

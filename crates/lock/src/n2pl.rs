@@ -136,6 +136,12 @@ impl Scheduler for N2plScheduler {
     fn on_abort(&mut self, exec: ExecId, _view: &dyn TxnView) {
         self.table.release_all(exec);
     }
+
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        // The lock table is keyed per object and rule 2 only consults locks
+        // on the requested object, so N2PL decomposes per object.
+        Some(Box::new(N2plScheduler::with_granularity(self.granularity)))
+    }
 }
 
 #[cfg(test)]

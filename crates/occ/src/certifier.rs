@@ -26,6 +26,10 @@ struct InstalledStep {
 /// operation is admitted immediately and conflicts are only checked at commit
 /// time. Combined with per-object intra-object policies (the mixed scheduler
 /// in `obase-exec`) it realises the separation of Theorem 5.
+///
+/// The conflict graph spans objects, so this scheduler is *not* per-object
+/// decomposable (`fork_object_shard` stays `None`): the parallel backend
+/// runs it as a single instance behind one lock.
 #[derive(Debug, Default)]
 pub struct SgtCertifier {
     steps: BTreeMap<ObjectId, Vec<InstalledStep>>,

@@ -1,36 +1,47 @@
-//! The parallel execution engine: a worker pool over the sharded store.
+//! The parallel execution engine: a worker pool over the sharded store and
+//! the decomposed control plane.
 //!
-//! See the crate docs for the control-plane/data-plane split and the
-//! blocking model. This module is a *driver* over the shared lifecycle
-//! kernel ([`obase_exec::kernel`]): every lifecycle transition — admission,
-//! install recording, commit certification, abort marking/release, retry
-//! accounting — is a kernel call, and aborts run through the one shared
-//! resolution loop ([`resolve_abort`]) via this module's
-//! [`ExecutionDriver`] implementation. What lives here is only what is
-//! genuinely parallel:
+//! The control plane is split into independently contended pieces (see the
+//! crate docs for the full lock map):
 //!
-//! * the worker loop (claim a pending transaction, execute it, commit or
-//!   abort-and-retry);
-//! * the recursive program walker, which runs `Par` branches on real scoped
-//!   threads (intra-transaction parallelism, Section 3(c) of the paper);
-//! * the scheduler gates, which turn [`Decision::Block`] into a condition
-//!   variable wait and wake blocked workers on every state transition;
-//! * the doomed-victim protocol (a still-running cascade victim is condemned
-//!   and unwinds itself at its next gate);
-//! * the monitor thread: a waits-for-graph deadlock ticker plus the
-//!   wall-clock deadline that guards against livelock.
+//! * the **scheduler plane** ([`SchedPlane`]) — per-object-shard scheduler
+//!   locks for decomposable schedulers, mirroring the paper's per-object
+//!   scheduler decomposition; grant/release decisions for objects in
+//!   different shards never contend;
+//! * the **lifecycle plane** (one mutex over the shared
+//!   [`LifecycleKernel`]) — execution registry, admission/retry queue,
+//!   commit/abort accounting; touched only at transaction-lifecycle
+//!   transitions, never per step;
+//! * **history recording** — append-only per-activity event buffers
+//!   ([`obase_core::record`]) stamped by a global atomic sequence counter
+//!   and stitched into the final history at run end; installing a step
+//!   records history without taking any control-plane lock at all;
+//! * the **waiter registry** ([`Waiters`]) — targeted per-transaction
+//!   parking instead of the old generation-counter broadcast: a grant,
+//!   commit or abort wakes only the transactions whose block predicate may
+//!   have changed. There is no `notify_all` anywhere on the
+//!   grant/install/commit/abort path.
+//!
+//! What lives here is the genuinely parallel machinery: the worker loop,
+//! the recursive program walker (`Par` branches on real scoped threads),
+//! the gates that turn [`Decision::Block`] into targeted parking, the
+//! doomed-victim protocol, and the deadlock/deadline monitor.
 
-use crate::store::ShardedStore;
+use crate::exec_index::{ExecIndex, ABORTED, COMMITTED, DOOMED, LIVE};
+use crate::sched_plane::SchedPlane;
+use crate::store::{ObjectSlot, ShardedStore};
+use crate::waiters::{Signal, Waiters};
 use obase_core::graph::DiGraph;
 use obase_core::ids::{ExecId, ObjectId, StepId};
 use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
 use obase_core::op::{LocalStep, Operation};
+use obase_core::record::{stitch, BufferedRecorder, EventBuffer, HistoryRecorder, RecordClock};
 use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
 use obase_exec::kernel::LifecycleKernel;
 use obase_exec::{ExecParams, Program, RunResult, TxnSpec, WorkloadSpec};
-use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -45,10 +56,11 @@ pub struct ParParams {
     /// Wall-clock bound on the whole run (guards against livelock; the run
     /// is flagged `timed_out` if it trips).
     pub deadline: Duration,
-    /// Cadence of the monitor thread's deadlock/deadline ticks.
+    /// Cadence of the monitor thread's deadlock/deadline ticks (also the
+    /// re-poll backstop of parked waiters).
     pub monitor_tick: Duration,
-    /// Number of store shards; `0` sizes automatically from the object count
-    /// and worker count.
+    /// Number of store (and scheduler-plane) shards; `0` applies the
+    /// default — the next power of two at least twice the worker count.
     pub shards: usize,
 }
 
@@ -76,6 +88,16 @@ impl ParParams {
             ..Default::default()
         }
     }
+
+    /// The effective shard count: the configured value, or the default rule
+    /// (next power of two ≥ 2 × workers) when unset.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            (2 * self.workers.max(1)).next_power_of_two()
+        } else {
+            self.shards
+        }
+    }
 }
 
 /// One thread of control inside a transaction: the top-level activity, or a
@@ -92,27 +114,46 @@ struct Activity {
     active: bool,
 }
 
-/// Everything behind the control-plane mutex: the shared lifecycle kernel
-/// plus this backend's thread bookkeeping.
-struct Central {
-    scheduler: Box<dyn Scheduler>,
+/// Behind the lifecycle mutex: the shared kernel plus the admission state
+/// that must be read atomically with its queue.
+struct Life {
     kernel: LifecycleKernel,
-    activities: Vec<Activity>,
+    /// Top-level transactions currently running on some worker.
+    running: usize,
     /// Live top-level transactions condemned to abort (by the deadlock
     /// monitor or by cascade), with the reason; the owning worker performs
-    /// the abort at its next gate.
-    doomed: std::collections::BTreeMap<ExecId, (AbortReason, bool)>,
-    running: usize,
-    /// Bumped on every state transition; blocked workers re-request when it
-    /// moves. Doubles as the logical makespan reported in `metrics.rounds`.
-    gen: u64,
-    shutdown: bool,
+    /// the abort at its next gate. Kept here (not in thread bookkeeping) so
+    /// doom decisions serialise with commit settling.
+    doomed: BTreeMap<ExecId, (AbortReason, bool)>,
+}
+
+/// Behind the thread-bookkeeping mutex: activity stacks for the monitor and
+/// the per-transaction touched-shard sets for targeted broadcasts.
+#[derive(Default)]
+struct Control {
+    activities: Vec<Activity>,
+    /// Scheduler-plane shards each top-level transaction has made requests
+    /// on; lifecycle broadcasts (commit/abort/certify) visit only these.
+    touched: BTreeMap<ExecId, BTreeSet<usize>>,
 }
 
 struct Shared<'w> {
-    central: Mutex<Central>,
-    cv: Condvar,
     store: ShardedStore,
+    plane: SchedPlane,
+    life: Mutex<Life>,
+    /// Paired with `life`: idle workers waiting for pending work.
+    work_cv: Condvar,
+    control: Mutex<Control>,
+    waiters: Waiters,
+    index: ExecIndex,
+    clock: RecordClock,
+    sink: Mutex<Vec<EventBuffer>>,
+    shutdown: AtomicBool,
+    /// Bumped on every state transition; reported as the logical makespan in
+    /// `metrics.rounds`.
+    gen: AtomicU64,
+    installed_steps: AtomicU64,
+    blocked_events: AtomicU64,
     workload: &'w WorkloadSpec,
     params: ParParams,
 }
@@ -122,8 +163,19 @@ struct Shared<'w> {
 /// shutting down. Unwinds the program walker back to the worker loop.
 struct Interrupt;
 
-/// Per-activity execution context: which execution the activity is currently
-/// running code for, and the program-order chaining state.
+/// Per-activity state: the registered activity slot, the event buffer all
+/// of this activity's history records go to, the parking signal, and a
+/// cache of the shards this transaction is known to have touched (to avoid
+/// re-taking the bookkeeping lock per request).
+struct ActCtx {
+    act: usize,
+    buf: EventBuffer,
+    signal: Arc<Signal>,
+    touched: BTreeSet<usize>,
+}
+
+/// Per-execution context: which execution the activity is currently running
+/// code for, and the program-order chaining state.
 struct Ctx {
     exec: ExecId,
     top: ExecId,
@@ -133,36 +185,54 @@ struct Ctx {
     last: Value,
 }
 
-impl Central {
-    /// `true` if the given top-level transaction must stop executing.
-    fn is_interrupted(&self, top: ExecId) -> bool {
-        self.shutdown || self.doomed.contains_key(&top) || self.kernel.execs.record(top).aborted
-    }
-
-    fn bump(&mut self) {
-        self.gen += 1;
-    }
-
-    /// Split-borrows the kernel and the scheduler for a lifecycle call.
-    fn kernel_sched(&mut self) -> (&mut LifecycleKernel, &mut dyn Scheduler) {
-        let Central {
-            scheduler, kernel, ..
-        } = self;
-        (kernel, scheduler.as_mut())
-    }
+fn life<'a>(shared: &'a Shared) -> MutexGuard<'a, Life> {
+    shared
+        .life
+        .lock()
+        .expect("a worker panicked while holding the lifecycle lock")
 }
 
-fn lock<'a>(shared: &'a Shared) -> MutexGuard<'a, Central> {
+fn control<'a>(shared: &'a Shared) -> MutexGuard<'a, Control> {
     shared
-        .central
+        .control
         .lock()
-        .expect("a worker panicked while holding the control-plane lock")
+        .expect("a worker panicked while holding the bookkeeping lock")
+}
+
+impl Shared<'_> {
+    /// Lock-free: `true` if the given top-level transaction must stop
+    /// executing (doomed, aborted, or the run is shutting down).
+    fn is_interrupted(&self, top: ExecId) -> bool {
+        self.shutdown.load(Ordering::Acquire) || self.index.flags(top) & (ABORTED | DOOMED) != 0
+    }
+
+    fn bump(&self) {
+        self.gen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The sorted scheduler shards `top` has touched (for targeted
+    /// lifecycle broadcasts).
+    fn touched_shards(&self, top: ExecId) -> Vec<usize> {
+        control(self)
+            .touched
+            .get(&top)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Records that `top` made a scheduler request on `shard`.
+    fn note_touched(&self, actx: &mut ActCtx, top: ExecId, shard: usize) {
+        if actx.touched.insert(shard) {
+            control(self).touched.entry(top).or_default().insert(shard);
+        }
+    }
 }
 
 /// Executes a workload on a pool of OS worker threads against the sharded
-/// store, under the given scheduler. Blocking decisions park the worker on a
-/// condition variable until the control-plane state moves; a monitor thread
-/// breaks waits-for cycles and enforces the wall-clock deadline.
+/// store, under the given scheduler. Blocking decisions park the worker in
+/// the waiter registry until a targeted wakeup (or the tick backstop); a
+/// monitor thread breaks waits-for cycles and enforces the wall-clock
+/// deadline.
 ///
 /// The returned [`RunResult`] has exactly the simulator's shape: a committed
 /// (legal) history, the raw history including aborted attempts, and the run
@@ -177,11 +247,7 @@ pub fn execute_parallel(
         ..params.clone()
     };
     let base = Arc::clone(workload.def.base());
-    let shards = if params.shards == 0 {
-        base.len().clamp(1, 4 * params.workers)
-    } else {
-        params.shards
-    };
+    let shards = params.effective_shards();
     let kernel = LifecycleKernel::new(
         Arc::clone(&base),
         workload.transactions.len(),
@@ -189,42 +255,54 @@ pub fn execute_parallel(
         scheduler.name(),
         format!("parallel({})", params.workers),
     );
-    let central = Central {
-        scheduler,
-        kernel,
-        activities: Vec::new(),
-        doomed: Default::default(),
-        running: 0,
-        gen: 0,
-        shutdown: false,
-    };
     let shared = Shared {
-        central: Mutex::new(central),
-        cv: Condvar::new(),
-        store: ShardedStore::new(base, shards),
+        store: ShardedStore::new(Arc::clone(&base), shards),
+        plane: SchedPlane::new(scheduler, shards),
+        life: Mutex::new(Life {
+            kernel,
+            running: 0,
+            doomed: BTreeMap::new(),
+        }),
+        work_cv: Condvar::new(),
+        control: Mutex::new(Control::default()),
+        waiters: Waiters::new(),
+        index: ExecIndex::new(Arc::clone(&base)),
+        clock: RecordClock::new(),
+        sink: Mutex::new(Vec::new()),
+        shutdown: AtomicBool::new(false),
+        gen: AtomicU64::new(0),
+        installed_steps: AtomicU64::new(0),
+        blocked_events: AtomicU64::new(0),
         workload,
-        params: params.clone(),
+        params,
     };
     let started = Instant::now();
-    let done = AtomicBool::new(false);
+    let done = Signal::new();
     std::thread::scope(|s| {
         let monitor = s.spawn(|| monitor_loop(&shared, &done, started));
-        let workers: Vec<_> = (0..params.workers)
+        let workers: Vec<_> = (0..shared.params.workers)
             .map(|_| s.spawn(|| worker_loop(&shared)))
             .collect();
         for w in workers {
             w.join().expect("worker thread panicked");
         }
-        done.store(true, Ordering::Release);
+        done.notify();
         monitor.join().expect("monitor thread panicked");
     });
-    let mut central = shared
-        .central
+    let life = shared
+        .life
         .into_inner()
-        .expect("a worker panicked while holding the control-plane lock");
-    central.kernel.metrics.rounds = central.gen;
-    central.kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
-    central.kernel.into_result()
+        .expect("a worker panicked while holding the lifecycle lock");
+    let mut kernel = life.kernel;
+    kernel.metrics.rounds = shared.gen.load(Ordering::Relaxed);
+    kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
+    kernel.metrics.installed_steps = shared.installed_steps.load(Ordering::Relaxed);
+    kernel.metrics.blocked_events += shared.blocked_events.load(Ordering::Relaxed);
+    let buffers = shared
+        .sink
+        .into_inner()
+        .expect("a worker panicked while holding the buffer sink");
+    kernel.into_result(stitch(base, buffers))
 }
 
 // ----- worker loop ----------------------------------------------------------
@@ -232,45 +310,65 @@ pub fn execute_parallel(
 fn worker_loop(shared: &Shared) {
     loop {
         let pending = {
-            let mut c = lock(shared);
+            let mut l = life(shared);
             loop {
-                if let Some(p) = c.kernel.next_pending() {
-                    c.running += 1;
+                if let Some(p) = l.kernel.next_pending() {
+                    l.running += 1;
                     break Some(p);
                 }
-                if c.running == 0 || c.shutdown {
+                if l.running == 0 || shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                c = shared
-                    .cv
-                    .wait_timeout(c, shared.params.monitor_tick)
-                    .expect("a worker panicked while holding the control-plane lock")
+                l = shared
+                    .work_cv
+                    .wait_timeout(l, shared.params.monitor_tick)
+                    .expect("a worker panicked while holding the lifecycle lock")
                     .0;
             }
         };
         let Some(p) = pending else {
-            shared.cv.notify_all();
+            // Exit path (not a transaction transition): propagate the
+            // all-done condition to the remaining idle workers.
+            shared.work_cv.notify_all();
             return;
         };
         run_top_level(shared, p);
-        let mut c = lock(shared);
-        c.running -= 1;
-        c.bump();
-        shared.cv.notify_all();
+        let idle = {
+            let mut l = life(shared);
+            l.running -= 1;
+            l.running == 0 && l.kernel.queue_is_empty()
+        };
+        shared.bump();
+        if idle {
+            shared.work_cv.notify_all();
+        }
     }
 }
 
 fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending) {
     let spec: &TxnSpec = &shared.workload.transactions[p.spec];
-    let (top, act) = {
-        let mut c = lock(shared);
-        let (kernel, sched) = c.kernel_sched();
-        let top = kernel.admit_top(sched, spec.name.clone(), p);
-        let act = alloc_activity(&mut c, top);
-        c.bump();
-        (top, act)
+    let mut actx = ActCtx {
+        act: usize::MAX,
+        buf: EventBuffer::new(),
+        signal: Arc::new(Signal::new()),
+        touched: BTreeSet::new(),
     };
-    shared.cv.notify_all();
+    let top = {
+        let mut l = life(shared);
+        let mut rec = BufferedRecorder::new(&shared.clock, &mut actx.buf);
+        let top = l.kernel.register_top(&mut rec, &spec.name, p);
+        shared.index.push(top, None, ObjectId::ENVIRONMENT);
+        shared
+            .plane
+            .announce_begin(top, None, ObjectId::ENVIRONMENT);
+        top
+    };
+    {
+        let mut c = control(shared);
+        actx.act = alloc_activity(&mut c, top);
+        c.touched.insert(top, BTreeSet::new());
+    }
+    shared.bump();
     let mut ctx = Ctx {
         exec: top,
         top,
@@ -279,15 +377,20 @@ fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending) {
         prev_step: None,
         last: Value::Unit,
     };
-    let outcome = run_program(shared, act, &mut ctx, &spec.body);
-    release_activity(shared, act);
+    let outcome = run_program(shared, &mut actx, &mut ctx, &spec.body);
+    release_activity(shared, actx.act);
     match outcome {
-        Ok(()) => commit_top_level(shared, top),
-        Err(Interrupt) => handle_interrupt(shared, top),
+        Ok(()) => commit_top_level(shared, &mut actx, top),
+        Err(Interrupt) => handle_interrupt(shared, &mut actx, top),
     }
+    shared
+        .sink
+        .lock()
+        .expect("a worker panicked while holding the buffer sink")
+        .push(std::mem::take(&mut actx.buf));
 }
 
-fn alloc_activity(c: &mut Central, root: ExecId) -> usize {
+fn alloc_activity(c: &mut Control, root: ExecId) -> usize {
     c.activities.push(Activity {
         stack: vec![root],
         blocked_on: Vec::new(),
@@ -297,7 +400,7 @@ fn alloc_activity(c: &mut Central, root: ExecId) -> usize {
 }
 
 fn release_activity(shared: &Shared, act: usize) {
-    let mut c = lock(shared);
+    let mut c = control(shared);
     c.activities[act].active = false;
     c.activities[act].blocked_on.clear();
     c.activities[act].stack.clear();
@@ -307,14 +410,14 @@ fn release_activity(shared: &Shared, act: usize) {
 
 fn run_program(
     shared: &Shared,
-    act: usize,
+    actx: &mut ActCtx,
     ctx: &mut Ctx,
     prog: &Program,
 ) -> Result<(), Interrupt> {
     match prog {
         Program::Seq(items) => {
             for item in items {
-                run_program(shared, act, ctx, item)?;
+                run_program(shared, actx, ctx, item)?;
             }
             Ok(())
         }
@@ -325,11 +428,13 @@ fn run_program(
             // Real intra-transaction parallelism: one scoped OS thread per
             // branch, each acting for the same execution with its own
             // program-order chain seeded from the fork point (exactly the
-            // simulator's branch-thread semantics).
+            // simulator's branch-thread semantics). Each branch records
+            // into its own event buffer and flushes it to the sink.
             let results: Vec<Result<(), Interrupt>> = std::thread::scope(|s| {
                 let handles: Vec<_> = branches
                     .iter()
                     .map(|branch| {
+                        let touched = actx.touched.clone();
                         let mut bctx = Ctx {
                             exec: ctx.exec,
                             top: ctx.top,
@@ -339,12 +444,19 @@ fn run_program(
                             last: Value::Unit,
                         };
                         s.spawn(move || {
-                            let bact = {
-                                let mut c = lock(shared);
-                                alloc_activity(&mut c, bctx.exec)
+                            let mut bactx = ActCtx {
+                                act: alloc_activity(&mut control(shared), bctx.exec),
+                                buf: EventBuffer::new(),
+                                signal: Arc::new(Signal::new()),
+                                touched,
                             };
-                            let r = run_program(shared, bact, &mut bctx, branch);
-                            release_activity(shared, bact);
+                            let r = run_program(shared, &mut bactx, &mut bctx, branch);
+                            release_activity(shared, bactx.act);
+                            shared
+                                .sink
+                                .lock()
+                                .expect("a worker panicked while holding the buffer sink")
+                                .push(std::mem::take(&mut bactx.buf));
                             r
                         })
                     })
@@ -360,7 +472,7 @@ fn run_program(
             Ok(())
         }
         Program::Local { op, args } => {
-            ctx.last = do_local(shared, act, ctx, op, args)?;
+            ctx.last = do_local(shared, actx, ctx, op, args)?;
             Ok(())
         }
         Program::Invoke {
@@ -368,7 +480,7 @@ fn run_program(
             method,
             args,
         } => {
-            ctx.last = do_invoke(shared, act, ctx, object, method, args)?;
+            ctx.last = do_invoke(shared, actx, ctx, object, method, args)?;
             Ok(())
         }
     }
@@ -376,7 +488,7 @@ fn run_program(
 
 fn do_local(
     shared: &Shared,
-    act: usize,
+    actx: &mut ActCtx,
     ctx: &mut Ctx,
     op_name: &str,
     arg_exprs: &[obase_exec::Expr],
@@ -391,33 +503,31 @@ fn do_local(
     loop {
         // The whole local step — operation-level request, provisional apply,
         // step-level validation, install and history record — is one
-        // critical section on the object's shard, exactly as it is one
-        // uninterruptible thread step in the simulator. This pins the
-        // per-object conflict order seen by the scheduler (admission order)
-        // to the state-application order and to the recorded history order;
-        // admission-order schedulers like conservative NTO are incorrect
-        // without it. Blocking decisions release the shard before sleeping.
+        // critical section on the object's store shard plus its scheduler
+        // shard, exactly as it is one uninterruptible thread step in the
+        // simulator. This pins the per-object conflict order seen by the
+        // scheduler (admission order) to the state-application order and to
+        // the recorded history order (the event's sequence number is drawn
+        // inside this section); admission-order schedulers like conservative
+        // NTO are incorrect without it. The lifecycle lock is never taken
+        // here. Blocking decisions release both locks before parking.
         let mut slot = shared.store.lock_object(object);
-        let mut c = lock(shared);
-        if c.is_interrupted(ctx.top) {
+        if shared.is_interrupted(ctx.top) {
             return Err(Interrupt);
         }
-        let (kernel, sched) = c.kernel_sched();
-        let decision = kernel.request_local(sched, ctx.exec, object, &op);
-        match decision {
+        let view = shared.index.view();
+        let (sidx, mut shard) = shared.plane.lock_object_shard(object, &view);
+        shared.note_touched(actx, ctx.top, sidx);
+        match shard.sched().request_local(ctx.exec, object, &op, &view) {
             Decision::Grant => {}
             Decision::Abort(reason) => {
-                drop(c);
+                drop(shard);
                 drop(slot);
-                process_abort(shared, ctx.top, reason, false);
+                process_abort(shared, actx, ctx.top, reason, false);
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                c.activities[act].blocked_on = waiting_for;
-                let seen = c.gen;
-                drop(c);
-                drop(slot); // never wait while holding a shard
-                wait_for_change(shared, act, ctx.top, seen)?;
+                park(shared, actx, ctx.top, waiting_for, shard, Some(slot))?;
                 continue;
             }
         }
@@ -425,34 +535,37 @@ fn do_local(
             .provisional(&op)
             .unwrap_or_else(|e| panic!("malformed workload: {e}"));
         let step = LocalStep::new(op.clone(), ret.clone());
-        let (kernel, sched) = c.kernel_sched();
-        let decision = kernel.validate_step(sched, ctx.exec, object, &step);
-        match decision {
+        match shard.sched().validate_step(ctx.exec, object, &step, &view) {
             Decision::Grant => {
-                // `op` moves into the store and `step` into the history:
-                // this arm leaves the retry loop, so neither is needed again.
-                slot.install(ctx.exec, op, ret.clone(), new_state);
-                let (kernel, sched) = c.kernel_sched();
-                let sid = kernel.install_step(sched, ctx.exec, object, step, ctx.prev_step);
+                // Three consumers need the return value (store log, history
+                // event, caller) and two need the operation (store log,
+                // history event): the loop's originals move into the store,
+                // the step's into the history — nothing is re-cloned here.
+                shard
+                    .sched()
+                    .on_step_installed(ctx.exec, object, &step, &view);
+                let out = ret.clone();
+                slot.install(ctx.exec, op, ret, new_state);
+                let mut rec = BufferedRecorder::new(&shared.clock, &mut actx.buf);
+                let sid = rec.record_local(ctx.exec, step.op, step.ret);
+                if let Some(prev) = ctx.prev_step {
+                    rec.record_program_order(ctx.exec, prev, sid);
+                }
                 ctx.prev_step = Some(sid);
-                c.bump();
-                drop(c);
+                shared.installed_steps.fetch_add(1, Ordering::Relaxed);
+                drop(shard);
                 drop(slot);
-                shared.cv.notify_all();
-                return Ok(ret);
+                shared.bump();
+                return Ok(out);
             }
             Decision::Abort(reason) => {
-                drop(c);
+                drop(shard);
                 drop(slot);
-                process_abort(shared, ctx.top, reason, false);
+                process_abort(shared, actx, ctx.top, reason, false);
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                c.activities[act].blocked_on = waiting_for;
-                let seen = c.gen;
-                drop(c);
-                drop(slot); // never wait while holding a shard
-                wait_for_change(shared, act, ctx.top, seen)?;
+                park(shared, actx, ctx.top, waiting_for, shard, Some(slot))?;
             }
         }
     }
@@ -460,7 +573,7 @@ fn do_local(
 
 fn do_invoke(
     shared: &Shared,
-    act: usize,
+    actx: &mut ActCtx,
     ctx: &mut Ctx,
     objref: &obase_exec::ObjRef,
     method: &str,
@@ -468,33 +581,65 @@ fn do_invoke(
 ) -> Result<Value, Interrupt> {
     let target = objref.resolve(&ctx.args);
     let args: Vec<Value> = arg_exprs.iter().map(|e| e.eval(&ctx.args)).collect();
-    sched_gate(shared, act, ctx.top, |kernel, sched| {
-        kernel.request_invoke(sched, ctx.exec, target, method)
-    })?;
+    // The invoke gate (flat object-granularity schedulers synchronise here).
+    loop {
+        let view = shared.index.view();
+        let (sidx, mut shard) = shared.plane.lock_object_shard(target, &view);
+        shared.note_touched(actx, ctx.top, sidx);
+        // The interrupt check must come *after* the shard lock and the
+        // touched registration: either our touch happened before the abort's
+        // release read the touched set (then its `on_abort` visits this
+        // shard and queues behind us, cleaning up anything we are granted),
+        // or it happened after (then the abort's mark — which precedes that
+        // read — is visible here and we bail before acquiring anything).
+        // Checking before taking the shard would leave a window where an
+        // aborted execution is granted resources the release pass already
+        // missed — a permanent lock leak. (`do_local` gets the same
+        // guarantee from its store-slot lock, which the undo phase must
+        // queue behind.)
+        if shared.is_interrupted(ctx.top) {
+            return Err(Interrupt);
+        }
+        match shard
+            .sched()
+            .request_invoke(ctx.exec, target, method, &view)
+        {
+            Decision::Grant => break,
+            Decision::Abort(reason) => {
+                drop(shard);
+                process_abort(shared, actx, ctx.top, reason, false);
+                return Err(Interrupt);
+            }
+            Decision::Block { waiting_for } => {
+                park(shared, actx, ctx.top, waiting_for, shard, None)?;
+            }
+        }
+    }
     let mdef = shared
         .workload
         .def
         .method(target, method)
         .unwrap_or_else(|| panic!("object {target:?} has no method {method:?}"));
     let (msg, child) = {
-        let mut c = lock(shared);
-        if c.is_interrupted(ctx.top) {
+        let mut l = life(shared);
+        if shared.is_interrupted(ctx.top) {
             return Err(Interrupt);
         }
-        let (kernel, sched) = c.kernel_sched();
-        let (msg, child) = kernel.begin_nested(
-            sched,
+        let mut rec = BufferedRecorder::new(&shared.clock, &mut actx.buf);
+        let (msg, child) = l.kernel.register_nested(
+            &mut rec,
             ctx.exec,
             target,
-            method.to_owned(),
+            method,
             args.clone(),
             ctx.prev_step,
         );
-        c.activities[act].stack.push(child);
-        c.bump();
+        shared.index.push(child, Some(ctx.exec), target);
+        shared.plane.announce_begin(child, Some(ctx.exec), target);
         (msg, child)
     };
-    shared.cv.notify_all();
+    control(shared).activities[actx.act].stack.push(child);
+    shared.bump();
     ctx.prev_step = Some(msg);
     let mut cctx = Ctx {
         exec: child,
@@ -504,128 +649,121 @@ fn do_invoke(
         prev_step: None,
         last: Value::Unit,
     };
-    let result = run_program(shared, act, &mut cctx, &mdef.body);
-
-    let mut c = lock(shared);
-    debug_assert_eq!(c.activities[act].stack.last(), Some(&child));
-    c.activities[act].stack.pop();
+    let result = run_program(shared, actx, &mut cctx, &mdef.body);
+    {
+        let mut c = control(shared);
+        debug_assert_eq!(c.activities[actx.act].stack.last(), Some(&child));
+        c.activities[actx.act].stack.pop();
+    }
     result?;
-    if c.is_interrupted(ctx.top) {
+    if shared.is_interrupted(ctx.top) {
         return Err(Interrupt);
     }
     // The child finished its program: certify and commit it (nested commit;
-    // N2PL inherits locks to the parent here, certifiers validate).
-    let (kernel, sched) = c.kernel_sched();
-    if let Err(reason) = kernel.commit_nested(sched, child, msg, cctx.last.clone()) {
-        drop(c);
-        process_abort(shared, ctx.top, reason, false);
+    // N2PL inherits locks to the parent here, certifiers validate). The
+    // broadcasts visit only the shards this transaction touched.
+    let touched = shared.touched_shards(ctx.top);
+    let view = shared.index.view();
+    if let Err(reason) = shared.plane.certify_commit(&touched, child, &view) {
+        process_abort(shared, actx, ctx.top, reason, false);
         return Err(Interrupt);
     }
-    c.bump();
-    drop(c);
-    shared.cv.notify_all();
+    shared.plane.on_commit(&touched, child, &view);
+    {
+        let mut l = life(shared);
+        let mut rec = BufferedRecorder::new(&shared.clock, &mut actx.buf);
+        l.kernel
+            .settle_commit_nested(&mut rec, child, msg, cctx.last.clone());
+    }
+    shared.index.clear_flags(child, LIVE);
+    shared.bump();
+    // Targeted wakeup: only transactions blocked behind the child (whose
+    // locks just moved to the parent or were released) re-request.
+    shared.waiters.wake_released(&[child]);
     Ok(cctx.last)
 }
 
-fn commit_top_level(shared: &Shared, top: ExecId) {
-    let mut c = lock(shared);
-    if c.is_interrupted(top) {
-        drop(c);
-        handle_interrupt(shared, top);
+fn commit_top_level(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
+    if shared.is_interrupted(top) {
+        handle_interrupt(shared, actx, top);
         return;
     }
-    let (kernel, sched) = c.kernel_sched();
-    if let Err(reason) = kernel.commit_top(sched, top) {
-        drop(c);
-        process_abort(shared, top, reason, false);
+    let touched = shared.touched_shards(top);
+    let view = shared.index.view();
+    if let Err(reason) = shared.plane.certify_commit(&touched, top, &view) {
+        process_abort(shared, actx, top, reason, false);
         return;
     }
-    c.bump();
-    drop(c);
-    shared.cv.notify_all();
+    shared.plane.on_commit(&touched, top, &view);
+    // Settling serialises with doom decisions through the lifecycle lock: a
+    // cascade that condemned this transaction before we settled wins, and
+    // the owner (us) processes the abort instead of committing.
+    let subtree = {
+        let mut l = life(shared);
+        if l.doomed.contains_key(&top) {
+            None
+        } else {
+            l.kernel.settle_commit_top(top);
+            Some(l.kernel.execs.subtree_of(top))
+        }
+    };
+    let Some(subtree) = subtree else {
+        handle_interrupt(shared, actx, top);
+        return;
+    };
+    shared.index.clear_flags(top, LIVE);
+    shared.index.set_flags(top, COMMITTED);
+    shared.bump();
+    // Targeted wakeup: the transaction's locks (held by its executions) are
+    // released; wake exactly the waiters blocked behind them.
+    shared.waiters.wake_released(&subtree);
 }
 
 // ----- gates and blocking ---------------------------------------------------
 
-/// Runs a scheduler request through the kernel, waiting out `Block`
-/// decisions on the condition variable and re-requesting whenever the
-/// control-plane generation moves.
-fn sched_gate(
+/// Parks the activity on its signal after registering it in the waiter
+/// registry — *while still holding the scheduler-shard lock* that produced
+/// the `Block` decision, so a release racing with the registration cannot be
+/// missed. The store slot (if held) and the shard lock are released before
+/// sleeping. Wakes on a targeted notification or the tick backstop, then
+/// returns for the caller to re-request.
+fn park(
     shared: &Shared,
-    act: usize,
+    actx: &mut ActCtx,
     top: ExecId,
-    request: impl Fn(&mut LifecycleKernel, &mut dyn Scheduler) -> Decision,
+    waiting_for: Vec<ExecId>,
+    shard: crate::sched_plane::ShardGuard<'_>,
+    slot: Option<ObjectSlot<'_>>,
 ) -> Result<(), Interrupt> {
-    loop {
-        let mut c = lock(shared);
-        if c.is_interrupted(top) {
-            return Err(Interrupt);
-        }
-        let (kernel, sched) = c.kernel_sched();
-        let decision = request(kernel, sched);
-        match decision {
-            Decision::Grant => return Ok(()),
-            Decision::Abort(reason) => {
-                drop(c);
-                process_abort(shared, top, reason, false);
-                return Err(Interrupt);
-            }
-            Decision::Block { waiting_for } => {
-                c.activities[act].blocked_on = waiting_for;
-                let seen = c.gen;
-                loop {
-                    c = shared
-                        .cv
-                        .wait_timeout(c, shared.params.monitor_tick)
-                        .expect("a worker panicked while holding the control-plane lock")
-                        .0;
-                    if c.is_interrupted(top) {
-                        c.activities[act].blocked_on.clear();
-                        return Err(Interrupt);
-                    }
-                    if c.gen != seen {
-                        break;
-                    }
-                }
-                c.activities[act].blocked_on.clear();
-            }
-        }
-    }
-}
-
-/// Re-locks the control plane and waits until its generation moves past
-/// `seen` (used when the blocking decision was made while a shard lock was
-/// held, which must be released before sleeping).
-fn wait_for_change(shared: &Shared, act: usize, top: ExecId, seen: u64) -> Result<(), Interrupt> {
-    let mut c = lock(shared);
-    loop {
-        if c.is_interrupted(top) {
-            c.activities[act].blocked_on.clear();
-            return Err(Interrupt);
-        }
-        if c.gen != seen {
-            c.activities[act].blocked_on.clear();
-            return Ok(());
-        }
-        c = shared
-            .cv
-            .wait_timeout(c, shared.params.monitor_tick)
-            .expect("a worker panicked while holding the control-plane lock")
-            .0;
+    shared.blocked_events.fetch_add(1, Ordering::Relaxed);
+    control(shared).activities[actx.act].blocked_on = waiting_for.clone();
+    let token = shared.waiters.register(top, waiting_for, &actx.signal);
+    drop(shard);
+    drop(slot);
+    actx.signal.wait_timeout(shared.params.monitor_tick);
+    shared.waiters.deregister(token);
+    control(shared).activities[actx.act].blocked_on.clear();
+    if shared.is_interrupted(top) {
+        Err(Interrupt)
+    } else {
+        Ok(())
     }
 }
 
 /// The owning worker noticed its transaction was doomed (or the run is
 /// shutting down): perform the abort it was condemned to.
-fn handle_interrupt(shared: &Shared, top: ExecId) {
+fn handle_interrupt(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
     let verdict = {
-        let c = lock(shared);
-        if c.kernel.execs.record(top).aborted {
+        let l = life(shared);
+        if l.kernel.execs.record(top).aborted {
             None // an inline Abort decision already processed it
-        } else if let Some(v) = c.doomed.get(&top) {
+        } else if let Some(v) = l.doomed.get(&top) {
             Some(v.clone())
         } else {
-            debug_assert!(c.shutdown, "interrupted but neither doomed nor shut down");
+            debug_assert!(
+                shared.shutdown.load(Ordering::Acquire),
+                "interrupted but neither doomed nor shut down"
+            );
             Some((
                 AbortReason::Other("wall-clock deadline exceeded".into()),
                 false,
@@ -633,35 +771,51 @@ fn handle_interrupt(shared: &Shared, top: ExecId) {
         }
     };
     if let Some((reason, cascade)) = verdict {
-        process_abort(shared, top, reason, cascade);
+        process_abort(shared, actx, top, reason, cascade);
     }
 }
 
 // ----- aborts ---------------------------------------------------------------
 
 /// This backend's side of the shared abort loop. Each phase takes (and
-/// releases) the control-plane lock itself, so the store undo in phase 2
-/// runs without it — workers keep making progress elsewhere while the
-/// scheduler still holds the victim's locks, which is what keeps strict
+/// releases) its own locks, so the store undo in phase 2 runs without any
+/// control-plane lock — workers keep making progress elsewhere while the
+/// scheduler still holds the victim's resources, which is what keeps strict
 /// schedulers cascade-free. A cascade victim still running on some worker is
-/// not torn down in place: it is *doomed*, and its owner unwinds and aborts
-/// it at its next gate.
-struct ParDriver<'w, 's> {
+/// not torn down in place: it is *doomed* (under the lifecycle lock, so the
+/// verdict serialises with commit settling), and its owner unwinds and
+/// aborts it at its next gate.
+struct ParDriver<'w, 's, 'a> {
     shared: &'s Shared<'w>,
+    actx: &'a mut ActCtx,
 }
 
-impl ExecutionDriver for ParDriver<'_, '_> {
+impl ExecutionDriver for ParDriver<'_, '_, '_> {
     fn mark_aborted(
         &mut self,
         top: ExecId,
         reason: &AbortReason,
         cascade: bool,
     ) -> Option<Vec<ExecId>> {
-        let mut c = lock(self.shared);
-        c.doomed.remove(&top);
-        c.kernel.mark_abort_subtree(top, reason, cascade)
-        // The owning worker's threads of control are not torn down here:
-        // they observe the aborted mark at their next gate and unwind.
+        let shared = self.shared;
+        let subtree = {
+            let mut l = life(shared);
+            l.doomed.remove(&top);
+            let mut rec = BufferedRecorder::new(&shared.clock, &mut self.actx.buf);
+            let subtree = l
+                .kernel
+                .mark_abort_subtree(&mut rec, top, reason, cascade)?;
+            for &e in &subtree {
+                shared.index.set_flags(e, ABORTED);
+                shared.index.clear_flags(e, LIVE);
+            }
+            subtree
+            // The owning worker's threads of control are not torn down here:
+            // they observe the aborted mark at their next gate and unwind.
+        };
+        // Wake any of the victim's own parked activities so they unwind.
+        shared.waiters.wake_top(top);
+        Some(subtree)
     }
 
     fn undo_steps(&mut self, aborted: &BTreeSet<ExecId>) -> (usize, BTreeSet<ExecId>) {
@@ -675,78 +829,115 @@ impl ExecutionDriver for ParDriver<'_, '_> {
         removed_steps: usize,
         invalidated: BTreeSet<ExecId>,
     ) -> Vec<ExecId> {
-        let mut c = lock(self.shared);
-        let allow_retry = !c.shutdown;
-        let (kernel, sched) = c.kernel_sched();
-        let release =
-            kernel.release_aborted(sched, top, subtree, removed_steps, invalidated, allow_retry);
-        let mut inline = Vec::new();
-        for v in release.victims {
-            if c.doomed.contains_key(&v.top) {
-                continue;
+        let shared = self.shared;
+        // Scheduler resources are released strictly after the store undo
+        // (the shared loop's phase order), children before parents, on the
+        // touched shards only.
+        let touched = shared.touched_shards(top);
+        let view = shared.index.view();
+        shared.plane.on_abort_subtree(&touched, subtree, &view);
+        let (retried, inline) = {
+            let mut l = life(shared);
+            let allow_retry = !shared.shutdown.load(Ordering::Acquire);
+            let release = l
+                .kernel
+                .account_release(top, removed_steps, invalidated, allow_retry);
+            let mut inline = Vec::new();
+            for v in release.victims {
+                if l.doomed.contains_key(&v.top) {
+                    continue;
+                }
+                if v.committed {
+                    // No worker owns a committed transaction any more: this
+                    // thread processes the cascade itself. (Read under the
+                    // same lifecycle section as the doom decision, so a
+                    // racing commit cannot slip between.)
+                    inline.push(v.top);
+                } else {
+                    // Still running on some worker: condemn it and let its
+                    // owner unwind and abort it at the next gate.
+                    l.doomed
+                        .insert(v.top, (AbortReason::CascadingDirtyRead, true));
+                    shared.index.set_flags(v.top, DOOMED);
+                    shared.waiters.wake_top(v.top);
+                }
             }
-            if v.committed {
-                // No worker owns a committed transaction any more: this
-                // thread processes the cascade itself.
-                inline.push(v.top);
-            } else {
-                // Still running on some worker: condemn it and let its owner
-                // unwind and abort it at the next gate.
-                c.doomed
-                    .insert(v.top, (AbortReason::CascadingDirtyRead, true));
-            }
+            (release.retried, inline)
+        };
+        shared.bump();
+        // Targeted wakeup: the victim's resources are gone; wake exactly the
+        // waiters blocked behind its executions.
+        shared.waiters.wake_released(subtree);
+        if retried {
+            // One idle worker picks up the re-queued attempt.
+            shared.work_cv.notify_one();
         }
-        c.bump();
-        drop(c);
-        self.shared.cv.notify_all();
         inline
     }
 }
 
 /// Aborts a top-level transaction through the shared kernel loop (see
 /// [`ParDriver`] for this backend's phase discipline).
-fn process_abort(shared: &Shared, top: ExecId, reason: AbortReason, cascade: bool) {
-    resolve_abort(&mut ParDriver { shared }, top, reason, cascade);
+fn process_abort(
+    shared: &Shared,
+    actx: &mut ActCtx,
+    top: ExecId,
+    reason: AbortReason,
+    cascade: bool,
+) {
+    resolve_abort(&mut ParDriver { shared, actx }, top, reason, cascade);
 }
 
 // ----- the monitor ----------------------------------------------------------
 
-/// The deadlock/deadline ticker: on every tick (or control-plane wakeup) it
-/// rebuilds the waits-for graph from the registered activities (stack edges
-/// for parents waiting on invoked children, blocked edges from scheduler
-/// `Block` decisions), dooms the youngest execution's transaction on any
-/// cycle, and enforces the wall-clock deadline. Exits on its own once the
-/// run settles so teardown does not wait out a tick.
-fn monitor_loop(shared: &Shared, done: &AtomicBool, started: Instant) {
-    let mut c = lock(shared);
+/// The deadlock/deadline ticker: on every tick it rebuilds the waits-for
+/// graph from the registered activities (stack edges for parents waiting on
+/// invoked children, blocked edges from scheduler `Block` decisions), dooms
+/// the youngest execution's transaction on any cycle (with a targeted wakeup
+/// of that transaction only), and enforces the wall-clock deadline. Exits on
+/// its own once the run settles.
+fn monitor_loop(shared: &Shared, done: &Signal, started: Instant) {
     loop {
-        if done.load(Ordering::Acquire) || (c.kernel.queue_is_empty() && c.running == 0) {
+        if done.wait_timeout(shared.params.monitor_tick) {
             return;
         }
-        if !c.shutdown && started.elapsed() > shared.params.deadline {
-            c.shutdown = true;
-            c.kernel.metrics.timed_out = true;
-            c.kernel.clear_queue();
-            c.bump();
-            shared.cv.notify_all();
-        } else if let Some(victim) = deadlock_victim(&c) {
-            c.kernel.metrics.deadlocks += 1;
-            c.doomed.insert(victim, (AbortReason::Deadlock, false));
-            c.bump();
-            shared.cv.notify_all();
+        {
+            let l = life(shared);
+            if l.kernel.queue_is_empty() && l.running == 0 {
+                return;
+            }
         }
-        c = shared
-            .cv
-            .wait_timeout(c, shared.params.monitor_tick)
-            .expect("a worker panicked while holding the control-plane lock")
-            .0;
+        if !shared.shutdown.load(Ordering::Acquire) && started.elapsed() > shared.params.deadline {
+            shared.shutdown.store(true, Ordering::Release);
+            {
+                let mut l = life(shared);
+                l.kernel.metrics.timed_out = true;
+                l.kernel.clear_queue();
+            }
+            shared.bump();
+            shared.waiters.wake_all();
+            shared.work_cv.notify_all();
+            continue;
+        }
+        let mut l = life(shared);
+        let c = control(shared);
+        if let Some(victim) = deadlock_victim(&l, &c) {
+            l.kernel.metrics.deadlocks += 1;
+            l.doomed.insert(victim, (AbortReason::Deadlock, false));
+            shared.index.set_flags(victim, DOOMED);
+            drop(c);
+            drop(l);
+            shared.bump();
+            // Targeted: only the victim's parked activities are woken.
+            shared.waiters.wake_top(victim);
+        }
     }
 }
 
 /// Scans the registered activities for a waits-for cycle and applies the
 /// kernel's shared victim rule (the youngest execution's top-level
 /// transaction), additionally skipping transactions already doomed.
-fn deadlock_victim(c: &Central) -> Option<ExecId> {
+fn deadlock_victim(l: &Life, c: &Control) -> Option<ExecId> {
     // Cheap pre-check: cycles need at least one blocked edge.
     if c.activities
         .iter()
@@ -763,14 +954,14 @@ fn deadlock_victim(c: &Central) -> Option<ExecId> {
             continue;
         };
         for &owner in &a.blocked_on {
-            if owner == holder || owner.index() >= c.kernel.execs.len() {
+            if owner == holder || owner.index() >= l.kernel.execs.len() {
                 continue;
             }
             g.add_edge(holder, owner);
         }
     }
-    let victim = c.kernel.execs.deadlock_victim(&g)?;
-    if c.doomed.contains_key(&victim) {
+    let victim = l.kernel.execs.deadlock_victim(&g)?;
+    if l.doomed.contains_key(&victim) {
         return None;
     }
     Some(victim)

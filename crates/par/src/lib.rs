@@ -16,42 +16,59 @@
 //! ## Architecture: a driver over the shared lifecycle kernel
 //!
 //! This backend contains no lifecycle logic of its own: every transition —
-//! admission, step install recording, commit certification, abort
-//! marking/release, cascade collection, retry accounting — is a call into
-//! the shared [`LifecycleKernel`](obase_exec::kernel::LifecycleKernel), the
-//! same code the simulator runs, and aborts flow through the one shared
-//! loop in [`obase_core::lifecycle`]. What this crate adds is the genuinely
-//! parallel machinery, split in two planes:
+//! admission, commit certification, abort marking/release, cascade
+//! collection, retry accounting — is a call into the shared
+//! [`LifecycleKernel`](obase_exec::kernel::LifecycleKernel), the same code
+//! the simulator runs, and aborts flow through the one shared loop in
+//! [`obase_core::lifecycle`]. What this crate adds is the genuinely
+//! parallel machinery, organised as a *decomposed* control plane: instead
+//! of one big mutex, independently contended pieces, each with a precise
+//! job.
 //!
-//! * **Data plane** — [`ShardedStore`]: object states and installed-step
-//!   logs, partitioned by object id into independently locked shards.
-//!   Workers touching different objects proceed in parallel. A worker holds
-//!   one shard lock across the provisional-apply → validate → install
-//!   critical section of a local step, which pins the per-object history
-//!   order to the state-application order (the invariant legality needs),
-//!   and *never* sleeps while holding a shard.
-//! * **Control plane** — one mutex over the scheduler and the lifecycle
-//!   kernel (history recorder, execution registry, retry queue, metrics).
-//!   Every scheduler hook runs under it, so scheduler implementations stay
-//!   single-threaded code (the [`Scheduler`](obase_core::sched::Scheduler)
-//!   trait only demands `Send`), and timestamp/serialisation bookkeeping
-//!   (NTO's hierarchical timestamps, the SGT certifier's graph) is
-//!   allocated atomically. Lock order is always shard → control plane, so
-//!   the two planes cannot deadlock.
+//! ## The lock map
+//!
+//! | Piece | Guards | Touched by |
+//! |---|---|---|
+//! | store shards ([`ShardedStore`], one mutex per shard) | object states + installed-step logs | every local step (one shard), abort undo (shard by shard) |
+//! | scheduler shards ([`SchedPlane`], one mutex per shard — or one total for non-decomposable schedulers) | per-object concurrency-control state | grant/validate requests (one shard), lifecycle broadcasts (touched shards only, one at a time) |
+//! | lifecycle mutex ([`LifecycleKernel`] + admission state + doom verdicts) | execution registry, retry queue, lifecycle metrics | admission, nested begin, commit settling, abort marking/accounting — never per step |
+//! | bookkeeping mutex | activity stacks (waits-for edges), touched-shard sets | blocking transitions, monitor ticks |
+//! | waiter registry ([`engine`]'s targeted parking) | blocked-transaction → signal map | park/unpark only |
+//! | history | *nothing shared* — per-activity append-only event buffers + one atomic sequence counter ([`obase_core::record`]), stitched at run end | every record, without locks |
+//!
+//! **Lock order** (outermost first): store shard → scheduler shard →
+//! lifecycle → bookkeeping → leaves (waiter registry, begin feed, buffer
+//! sink). A thread never holds two locks of the same tier (shard locks are
+//! taken one at a time, broadcasts visit shards in ascending index order),
+//! and leaves never acquire anything — so the plane is deadlock-free by
+//! construction.
+//!
+//! Per-object scheduler decomposition follows the paper: a scheduler that
+//! declares itself decomposable
+//! ([`Scheduler::fork_object_shard`](obase_core::sched::Scheduler::fork_object_shard)
+//! — N2PL, NTO, the flat baselines) runs one instance per object shard, so
+//! its grant/release decisions synchronise per object exactly as Section 2
+//! envisions; globally coupled schedulers (the SGT certifier, mixed
+//! compositions) transparently fall back to a single instance.
 //!
 //! ## Blocking, deadlocks and aborts
 //!
 //! A [`Decision::Block`](obase_core::sched::Decision::Block) parks the
-//! worker on a condition variable keyed to a control-plane *generation
-//! counter*; every grant, install, commit and abort bumps the generation and
-//! wakes the blocked workers, which re-issue their request. Waits-for edges
-//! (who blocks on whom, and which invoked child each execution is waiting
-//! on) are registered with the control plane, and a monitor thread — the
-//! deadlock *ticker* — periodically assembles them into a graph, picks the
-//! youngest execution on any cycle, and dooms its top-level transaction.
-//! The same ticker enforces a wall-clock deadline so livelocks cannot hang
-//! a run (the result is then flagged `timed_out`, like the simulator's
-//! round bound).
+//! worker in the *waiter registry*, keyed by its top-level transaction and
+//! the executions its predicate waits on. A nested commit wakes only the
+//! waiters blocked behind the committed child; a top-level commit or an
+//! abort wakes only the waiters blocked behind the settled subtree; dooming
+//! a transaction wakes only that transaction's own parked activities. There
+//! is no broadcast wakeup on the hot path — the old thundering herd (every
+//! install waking every blocked worker) is gone; a tick-cadence re-poll
+//! remains as a liveness backstop for exotic scheduler predicates. Waits-for
+//! edges (who blocks on whom, and which invoked child each execution is
+//! waiting on) are registered with the bookkeeping plane, and a monitor
+//! thread — the deadlock *ticker* — periodically assembles them into a
+//! graph, picks the youngest execution on any cycle, and dooms its
+//! top-level transaction. The same ticker enforces a wall-clock deadline so
+//! livelocks cannot hang a run (the result is then flagged `timed_out`,
+//! like the simulator's round bound).
 //!
 //! A doomed transaction is not torn down from outside: its own worker (and
 //! any `Par` branch threads) observe the verdict at their next scheduler
@@ -79,9 +96,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod exec_index;
+pub mod sched_plane;
 pub mod store;
+pub mod waiters;
 
 pub use engine::{execute_parallel, ParParams};
+pub use sched_plane::SchedPlane;
 pub use store::{ObjectSlot, Shard, ShardedStore};
 
 #[cfg(test)]

@@ -20,6 +20,10 @@ pub enum ConfigError {
     ZeroMaxRounds,
     /// A parallel backend with zero workers: no transaction could ever run.
     ZeroWorkers,
+    /// An explicit store-shard count of zero: the parallel backend's data
+    /// plane needs at least one shard. Leave the knob unset for the default
+    /// (the next power of two at least twice the worker count).
+    ZeroShards,
     /// A `Mixed` spec with neither a default intra-object policy nor any
     /// per-object policy. Use [`SchedulerSpec::SgtCertifier`] for pure
     /// commit-time certification.
@@ -48,6 +52,13 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be at least 1"),
             ConfigError::ZeroWorkers => {
                 write!(f, "the parallel backend needs at least 1 worker")
+            }
+            ConfigError::ZeroShards => {
+                write!(
+                    f,
+                    "the parallel backend needs at least 1 store shard \
+                     (leave store_shards unset for the default)"
+                )
             }
             ConfigError::EmptyMixedSpec => write!(
                 f,

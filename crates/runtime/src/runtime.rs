@@ -98,6 +98,7 @@ pub struct Runtime {
     registry: SchedulerRegistry,
     params: ExecParams,
     backend: ExecutionBackend,
+    store_shards: Option<usize>,
     verify: Verify,
 }
 
@@ -131,7 +132,10 @@ impl Runtime {
             ExecutionBackend::Parallel { workers } => obase_par::execute_parallel(
                 workload,
                 scheduler,
-                &ParParams::from_exec(&self.params, workers),
+                &ParParams {
+                    shards: self.store_shards.unwrap_or(0),
+                    ..ParParams::from_exec(&self.params, workers)
+                },
             ),
         }
     }
@@ -193,6 +197,7 @@ pub struct RuntimeBuilder {
     registry: SchedulerRegistry,
     params: ExecParams,
     backend: ExecutionBackend,
+    store_shards: Option<usize>,
     verify: Verify,
 }
 
@@ -242,6 +247,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the parallel backend's shard count — the partitions of the
+    /// sharded object store, also used to shard the scheduler plane for
+    /// per-object decomposable schedulers. Unset, the backend applies its
+    /// default: the next power of two at least twice the worker count.
+    /// Ignored by the simulated backend. An explicit `0` is rejected at
+    /// build time with [`ConfigError::ZeroShards`].
+    pub fn store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = Some(shards);
+        self
+    }
+
     /// Sets the verification level reports are built with (default
     /// [`Verify::Quick`]).
     pub fn verify(mut self, verify: Verify) -> Self {
@@ -271,6 +287,9 @@ impl RuntimeBuilder {
         if let ExecutionBackend::Parallel { workers: 0 } = self.backend {
             return Err(ConfigError::ZeroWorkers);
         }
+        if self.store_shards == Some(0) {
+            return Err(ConfigError::ZeroShards);
+        }
         // Dry-run instantiation so bad specs fail at build time, not per run.
         let _ = self.registry.instantiate(&spec)?;
         Ok(Runtime {
@@ -278,6 +297,7 @@ impl RuntimeBuilder {
             registry: self.registry,
             params: self.params,
             backend: self.backend,
+            store_shards: self.store_shards,
             verify: self.verify,
         })
     }
@@ -417,6 +437,28 @@ mod tests {
                 .unwrap_err(),
             ConfigError::EmptyMixedSpec
         );
+    }
+
+    #[test]
+    fn store_shards_knob_is_validated_and_applied() {
+        assert_eq!(
+            Runtime::builder()
+                .scheduler(SchedulerSpec::n2pl_operation())
+                .store_shards(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .backend(ExecutionBackend::Parallel { workers: 2 })
+            .store_shards(4)
+            .verify(Verify::Full)
+            .build()
+            .unwrap();
+        let report = runtime.run(&tiny_workload()).unwrap();
+        assert_eq!(report.metrics.committed, 1);
+        report.assert_serialisable();
     }
 
     #[test]

@@ -282,6 +282,16 @@ impl Scheduler for NtoScheduler {
         self.timestamps.remove(&exec);
         self.child_counters.remove(&exec);
     }
+
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        // Retained operations/steps are keyed per object; timestamps are
+        // derived deterministically from the order of `on_begin` calls,
+        // which the decomposed backend delivers to every shard in
+        // execution-id order — so all shard instances assign identical
+        // hierarchical timestamps and rule 1 is checked per object exactly
+        // as a single instance would.
+        Some(Box::new(NtoScheduler::with_style(self.style)))
+    }
 }
 
 #[cfg(test)]

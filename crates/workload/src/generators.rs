@@ -539,6 +539,114 @@ pub fn orders(params: &OrdersParams) -> WorkloadSpec {
     WorkloadSpec { def, transactions }
 }
 
+/// Parameters of the worker-scaling workload (experiment E10).
+#[derive(Clone, Debug)]
+pub struct ScalingParams {
+    /// Number of counter objects.
+    pub objects: usize,
+    /// Number of top-level transactions.
+    pub transactions: usize,
+    /// Objects each transaction invokes a batch method on.
+    pub invokes_per_txn: usize,
+    /// Local operations inside each batch method execution. The per-step
+    /// work (store + scheduler shard only, no lifecycle lock) dominates the
+    /// per-invoke lifecycle work as this grows — exactly what worker
+    /// scaling needs to show up on the wall clock.
+    pub ops_per_invoke: usize,
+    /// Fraction of local operations that read (`Get`) instead of add.
+    /// Reads conflict with adds, so a hot-key variant with reads produces
+    /// genuine blocking; pure adds commute and never conflict.
+    pub read_fraction: f64,
+    /// Zipf skew over objects (0.0 = uniform low contention; large values
+    /// concentrate every transaction on one hot key).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingParams {
+    fn default() -> Self {
+        ScalingParams {
+            objects: 64,
+            transactions: 256,
+            invokes_per_txn: 4,
+            ops_per_invoke: 8,
+            read_fraction: 0.2,
+            skew: 0.0,
+            seed: 10,
+        }
+    }
+}
+
+/// Builds the worker-scaling workload: each transaction invokes a `work`
+/// method (a batch of counter operations) on a few objects. With uniform
+/// object choice and mostly-commuting adds, transactions rarely conflict and
+/// throughput is limited purely by the engine's control-plane contention —
+/// the workload the scaling curves of experiment E10 sweep. With high skew
+/// and a read mix, every transaction fights over one hot key instead.
+pub fn scaling(params: &ScalingParams) -> WorkloadSpec {
+    let mut base = ObjectBase::new();
+    let ty = Arc::new(Counter::default());
+    let ids: Vec<ObjectId> = (0..params.objects.max(1))
+        .map(|i| base.add_object(format!("cell{i}"), ty.clone()))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut def = ObjectBaseDef::new(Arc::new(base));
+    for &c in &ids {
+        // A few method variants per object so the per-invoke op batches
+        // differ; the read mix inside each body is drawn from the seeded
+        // RNG, so `read_fraction` really is the expected fraction of reads.
+        for variant in 0..4usize {
+            let ops: Vec<Program> = (0..params.ops_per_invoke.max(1))
+                .map(|_| {
+                    let read = rng.gen_bool(params.read_fraction.clamp(0.0, 1.0));
+                    if read {
+                        Program::local("Get", [])
+                    } else {
+                        Program::Local {
+                            op: "Add".into(),
+                            args: vec![Expr::Param(0)],
+                        }
+                    }
+                })
+                .collect();
+            def.define_method(
+                c,
+                MethodDef {
+                    name: format!("work{variant}"),
+                    params: 1,
+                    body: Program::Seq(ops),
+                },
+            );
+        }
+    }
+    let zipf = Zipf::new(ids.len(), params.skew);
+    let transactions = (0..params.transactions)
+        .map(|i| {
+            // Objects are acquired in canonical (id) order within each
+            // transaction — the classic deadlock-free locking discipline —
+            // so the scaling curve measures contention and control-plane
+            // cost, not deadlock-retry churn.
+            let mut picks: Vec<usize> = (0..params.invokes_per_txn.max(1))
+                .map(|_| zipf.sample(&mut rng))
+                .collect();
+            picks.sort_unstable();
+            let invokes: Vec<Program> = picks
+                .into_iter()
+                .map(|p| {
+                    let variant = rng.gen_range(0..4u32);
+                    Program::invoke(ids[p], format!("work{variant}"), [Value::Int(1)])
+                })
+                .collect();
+            TxnSpec {
+                name: format!("scale{i}"),
+                body: Program::Seq(invokes),
+            }
+        })
+        .collect();
+    WorkloadSpec { def, transactions }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,6 +748,23 @@ mod tests {
         // The order transactions really nest: there are more executions than
         // transactions.
         assert!(result.history.exec_count() > 8 * 3);
+    }
+
+    #[test]
+    fn scaling_workload_runs_and_commits() {
+        let wl = scaling(&ScalingParams {
+            objects: 4,
+            transactions: 6,
+            invokes_per_txn: 2,
+            ops_per_invoke: 3,
+            ..Default::default()
+        });
+        let result = execute(&wl, &mut N2plScheduler::operation_locks(), &small_config());
+        assert_eq!(result.metrics.committed, 6);
+        // 2 invokes × 3 local ops per transaction (plus any aborted
+        // attempts' steps, which also count as installed).
+        assert!(result.metrics.installed_steps >= 6 * 2 * 3);
+        assert!(obase_core::sg::certifies_serialisable(&result.history));
     }
 
     #[test]

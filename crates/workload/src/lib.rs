@@ -20,7 +20,7 @@ pub mod generators;
 pub mod skew;
 
 pub use generators::{
-    banking, counters, dictionary, orders, queues, BankingParams, CounterParams, DictionaryParams,
-    OrdersParams, QueueParams,
+    banking, counters, dictionary, orders, queues, scaling, BankingParams, CounterParams,
+    DictionaryParams, OrdersParams, QueueParams, ScalingParams,
 };
 pub use skew::Zipf;

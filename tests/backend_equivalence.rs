@@ -234,6 +234,61 @@ fn deadlock_heavy_hot_keys_across_worker_counts() {
     }
 }
 
+/// The targeted-wakeup stress: many transactions all writing ONE hot
+/// register under operation-level N2PL, so at any moment one holds the lock
+/// and everyone else is parked in the waiter registry behind it. Every
+/// commit must wake exactly the right waiters — a lost wakeup would leave a
+/// parked transaction relying on the tick backstop at best and hanging the
+/// run at worst. Swept at workers {2, 8} (override via
+/// `OBASE_EQUIV_WORKERS`), repeated so the park/wake window is hit many
+/// times; everything must commit, serialisably, well inside the deadline.
+#[test]
+fn hot_key_parking_has_no_lost_wakeups() {
+    let mut base = ObjectBase::new();
+    let hot = base.add_object("hot", Arc::new(obase::adt::Register::default()));
+    let mut def = ObjectBaseDef::new(Arc::new(base));
+    def.define_method(
+        hot,
+        MethodDef {
+            name: "set".into(),
+            params: 1,
+            body: Program::Local {
+                op: "Write".into(),
+                args: vec![Expr::Param(0)],
+            },
+        },
+    );
+    let transactions: Vec<TxnSpec> = (0..24)
+        .map(|i| TxnSpec {
+            name: format!("W{i}"),
+            body: Program::invoke(hot, "set", [Value::Int(i)]),
+        })
+        .collect();
+    let workload = WorkloadSpec { def, transactions };
+    for &workers in &worker_counts(&[2, 8]) {
+        for round in 0..5 {
+            let report = parallel_runtime(SchedulerSpec::n2pl_operation(), workers)
+                .run(&workload)
+                .expect("well-formed workload");
+            assert!(
+                !report.metrics.timed_out,
+                "hot-key parking hung at {workers} workers (round {round}): {}",
+                report.summary()
+            );
+            assert_eq!(
+                report.metrics.committed,
+                24,
+                "lost transactions at {workers} workers (round {round}): {}",
+                report.summary()
+            );
+            report.assert_serialisable();
+            // Pure write-write queueing: nothing may abort, let alone
+            // cascade.
+            assert_eq!(report.metrics.aborts, 0, "{}", report.summary());
+        }
+    }
+}
+
 /// Strict blocking schedulers must settle every transaction (deadlock
 /// victims retry until they commit), and the committed effects must replay
 /// to the same final state the simulator reaches — counters commute, so the
