@@ -18,13 +18,15 @@
 //! The crate also contains a from-scratch [`btree`] module: the physical
 //! dictionary structure that the paper's Section 2 uses as its motivating
 //! example of an object wanting its own specialised intra-object
-//! synchronisation algorithm.
+//! synchronisation algorithm. [`BTreeDict`] lifts it into a semantic type of
+//! its own, with ordered `Range` scans whose conflicts are interval-aware.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod account;
 pub mod btree;
+pub mod btreedict;
 pub mod counter;
 pub mod dict;
 pub mod queue;
@@ -32,6 +34,7 @@ pub mod register;
 pub mod set;
 
 pub use account::Account;
+pub use btreedict::BTreeDict;
 pub use counter::Counter;
 pub use dict::Dictionary;
 pub use queue::FifoQueue;
@@ -50,6 +53,7 @@ pub fn all_types() -> Vec<TypeHandle> {
         Arc::new(Account::default()),
         Arc::new(SetObject),
         Arc::new(Dictionary),
+        Arc::new(BTreeDict),
         Arc::new(FifoQueue),
     ]
 }

@@ -1,0 +1,117 @@
+//! The scenario runner binary: executes declarative scenarios by name (the
+//! `obase-scenario` library) or from a JSON file, on either or both
+//! execution backends, and merges the measurement rows into
+//! `BENCH_results.json` under the `"scenarios"` key (existing experiment
+//! entries in the file are preserved).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p obase-bench --release --bin scenarios                     # whole library, both backends
+//! cargo run -p obase-bench --release --bin scenarios -- hot-queue abort-storm
+//! cargo run -p obase-bench --release --bin scenarios -- --file my-scenario.json
+//! cargo run -p obase-bench --release --bin scenarios -- --backend par --workers 8
+//! cargo run -p obase-bench --release --bin scenarios -- --list          # print scenario names
+//! cargo run -p obase-bench --release --bin scenarios -- --out results.json
+//! ```
+//!
+//! Markdown tables go to stdout; every run is held to the full theory
+//! oracle, so the binary doubles as a chaos smoke test.
+
+use obase_bench as xp;
+use obase_scenario::Scenario;
+use obase_ser::Json;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_results.json".to_owned();
+    let mut backend = "both".to_owned();
+    let mut workers = 4usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut selected: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out takes a path"),
+            "--file" => files.push(it.next().expect("--file takes a path")),
+            "--backend" => backend = it.next().expect("--backend takes sim|par|both"),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("--workers takes a positive integer");
+            }
+            "--list" => list = true,
+            other => selected.push(other.to_owned()),
+        }
+    }
+    if list {
+        for name in obase_scenario::names() {
+            println!("{name}");
+        }
+        return;
+    }
+    let choice = match backend.as_str() {
+        "sim" | "simulated" => xp::BackendChoice::Simulated,
+        "par" | "parallel" => xp::BackendChoice::Parallel { workers },
+        "both" => xp::BackendChoice::Both { workers },
+        other => panic!("--backend takes sim|par|both, not {other:?}"),
+    };
+
+    // Resolve the scenario set: named library entries plus any JSON files;
+    // with no names and no files, the whole library.
+    let mut scenarios: Vec<Scenario> = if selected.is_empty() && files.is_empty() {
+        obase_scenario::library()
+    } else {
+        selected
+            .iter()
+            .map(|name| {
+                obase_scenario::by_name(name).unwrap_or_else(|| {
+                    panic!("unknown scenario {name:?} (try --list, or --file for a JSON spec)")
+                })
+            })
+            .collect()
+    };
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read scenario file {path}: {e}"));
+        scenarios.push(
+            Scenario::parse(&text).unwrap_or_else(|e| panic!("bad scenario file {path}: {e}")),
+        );
+    }
+
+    let mut rows: Vec<xp::Row> = Vec::new();
+    for scenario in &scenarios {
+        eprintln!("running scenario {}...", scenario.name);
+        rows.extend(xp::scenario_rows(scenario, choice));
+    }
+    let title = format!(
+        "Scenario sweep — {} scenarios × their scheduler line-ups, per backend",
+        scenarios.len()
+    );
+    println!("{}", xp::render_table(&title, &rows));
+
+    // Merge into the existing results document (experiment entries written
+    // by the `experiments` binary survive). An existing file that fails to
+    // parse is an error, not an excuse to clobber it.
+    let mut doc: BTreeMap<String, Json> = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => match Json::parse(&existing) {
+            Ok(Json::Object(map)) => map,
+            Ok(_) | Err(_) => panic!(
+                "{out_path} exists but is not a JSON object; refusing to overwrite it \
+                 (fix or remove the file, or pick another --out path)"
+            ),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+        Err(e) => panic!("cannot read existing {out_path}: {e}; refusing to overwrite it"),
+    };
+    let entry = xp::results_json(&[("scenarios", title.as_str(), rows)]);
+    if let Json::Object(map) = entry {
+        doc.extend(map);
+    }
+    std::fs::write(&out_path, Json::Object(doc).to_string() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -782,6 +782,7 @@ mod tests {
             "certification",
             "application",
             "cascading_dirty_read",
+            "injected",
             "never_began",
             "other",
         ];

@@ -1,0 +1,120 @@
+//! Bench rows for the declarative scenario engine (`obase-scenario`).
+//!
+//! One row per scenario × scheduler spec × backend, with the usual
+//! measurement columns plus the abort-reason histogram — so
+//! `BENCH_results.json` records, run over run, how every scenario behaves
+//! on both backends and whether its fault plan fired (the `"injected"`
+//! bucket).
+
+use crate::experiments::Row;
+use obase_runtime::ExecutionBackend;
+use obase_scenario::Scenario;
+
+/// Which backends a scenario sweep runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The deterministic simulator only.
+    Simulated,
+    /// The multi-threaded backend only (at the given worker count).
+    Parallel {
+        /// Worker threads.
+        workers: usize,
+    },
+    /// Both (the default of the `scenarios` binary).
+    Both {
+        /// Worker threads for the parallel leg.
+        workers: usize,
+    },
+}
+
+impl BackendChoice {
+    fn backends(self) -> Vec<ExecutionBackend> {
+        match self {
+            BackendChoice::Simulated => vec![ExecutionBackend::Simulated],
+            BackendChoice::Parallel { workers } => vec![ExecutionBackend::Parallel { workers }],
+            BackendChoice::Both { workers } => vec![
+                ExecutionBackend::Simulated,
+                ExecutionBackend::Parallel { workers },
+            ],
+        }
+    }
+}
+
+/// Runs one scenario under every spec it names, on the chosen backends, and
+/// returns the measurement rows. Every run is held to the full theory
+/// oracle.
+///
+/// # Panics
+/// Panics if a run times out or fails the serialisability checks — a bench
+/// sweep over a broken engine must not write plausible-looking numbers.
+pub fn scenario_rows(scenario: &Scenario, choice: BackendChoice) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for spec in &scenario.specs {
+        for backend in choice.backends() {
+            let report = scenario
+                .run(spec, backend)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert!(
+                !report.metrics.timed_out,
+                "{} [{}] timed out: {}",
+                scenario.name,
+                backend.label(),
+                report.summary()
+            );
+            report.assert_serialisable();
+            let m = &report.metrics;
+            rows.push(
+                Row::new(format!(
+                    "{} / {} / {}",
+                    scenario.name,
+                    spec.label(),
+                    backend.label()
+                ))
+                .with("committed", m.committed as f64)
+                .with("aborts", m.aborts as f64)
+                .with("abort_rate", m.abort_ratio())
+                .with("gave_up", m.gave_up as f64)
+                .with("blocked", m.blocked_events as f64)
+                .with("retries", m.retries as f64)
+                .with("wall_ms", m.wall_micros as f64 / 1000.0)
+                .with("throughput", m.throughput())
+                .with("wall_throughput", m.wall_throughput())
+                .with_histogram(
+                    "aborts_by_reason",
+                    m.aborts_by_reason
+                        .iter()
+                        .map(|(reason, n)| (reason.clone(), *n as f64)),
+                ),
+            );
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_spec_and_backend() {
+        let s = obase_scenario::by_name("hot-queue").unwrap();
+        let rows = scenario_rows(&s, BackendChoice::Both { workers: 2 });
+        // Two specs × two backends.
+        assert_eq!(rows.len(), s.specs.len() * 2);
+        assert!(rows.iter().all(|r| r.values["committed"] > 0.0));
+        assert!(rows.iter().any(|r| r.label.contains("simulated")));
+        assert!(rows.iter().any(|r| r.label.contains("parallel(2)")));
+    }
+
+    #[test]
+    fn chaos_rows_record_injected_aborts() {
+        let s = obase_scenario::by_name("injected-dooms").unwrap();
+        let rows = scenario_rows(&s, BackendChoice::Simulated);
+        let injected: f64 = rows
+            .iter()
+            .filter_map(|r| r.histograms.get("aborts_by_reason"))
+            .filter_map(|h| h.get("injected"))
+            .sum();
+        assert!(injected > 0.0, "fault plan left no histogram trail");
+    }
+}

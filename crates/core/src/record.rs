@@ -26,6 +26,46 @@
 //!   the history a direct recorder would have produced for the same
 //!   linearisation — [`same_structure`] states that equivalence and the
 //!   tests here verify it on randomised event streams.
+//!
+//! The two paths are interchangeable behind [`HistoryRecorder`]:
+//!
+//! ```
+//! use obase_core::builder::HistoryBuilder;
+//! use obase_core::ids::{ExecId, ObjectId};
+//! use obase_core::object::ObjectBase;
+//! use obase_core::op::Operation;
+//! use obase_core::record::{
+//!     same_structure, stitch, BufferedRecorder, EventBuffer, HistoryRecorder, RecordClock,
+//! };
+//! use obase_core::value::Value;
+//! use std::sync::Arc;
+//!
+//! // One register object; execution ids are allocated by the caller (the
+//! // lifecycle kernel, in a real run).
+//! let mut base = ObjectBase::new();
+//! let x = base.add_object("x", Arc::new(obase_core::testutil::IntRegister));
+//! let base = Arc::new(base);
+//! let (top, child) = (ExecId(0), ExecId(1));
+//!
+//! // Record the same tiny run through both recorders.
+//! let record = |rec: &mut dyn HistoryRecorder| {
+//!     rec.record_begin_top(top, "T0");
+//!     let msg = rec.record_invoke(top, child, x, "set", vec![Value::Int(5)]);
+//!     rec.record_local(child, Operation::unary("Write", 5), Value::Unit);
+//!     rec.record_complete(msg, Value::Unit);
+//! };
+//! let mut direct = HistoryBuilder::new(Arc::clone(&base));
+//! direct.set_auto_program_order(false);
+//! record(&mut direct);
+//!
+//! let clock = RecordClock::new();
+//! let mut buf = EventBuffer::new();
+//! record(&mut BufferedRecorder::new(&clock, &mut buf));
+//!
+//! // Stitching the buffers reproduces the directly built history.
+//! let stitched = stitch(base, [buf]);
+//! assert!(same_structure(&direct.build(), &stitched));
+//! ```
 
 use crate::builder::HistoryBuilder;
 use crate::history::History;

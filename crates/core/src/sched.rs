@@ -28,6 +28,10 @@ pub enum AbortReason {
     /// The transaction observed state that a later abort physically undid
     /// (a dirty read), so it was cascade-aborted by the engine.
     CascadingDirtyRead,
+    /// A scenario fault plan deliberately doomed the transaction (chaos
+    /// injection); distinct from `Other` so injected faults are separable
+    /// from organic aborts in the metrics histograms.
+    Injected,
     /// The scheduler was consulted about an execution it never saw begin —
     /// an internal bookkeeping invariant was violated.
     NeverBegan,
@@ -49,6 +53,7 @@ impl AbortReason {
             AbortReason::Certification => "certification",
             AbortReason::Application => "application",
             AbortReason::CascadingDirtyRead => "cascading_dirty_read",
+            AbortReason::Injected => "injected",
             AbortReason::NeverBegan => "never_began",
             AbortReason::Other(_) => "other",
         }
@@ -63,6 +68,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::Certification => write!(f, "certification failure"),
             AbortReason::Application => write!(f, "application abort"),
             AbortReason::CascadingDirtyRead => write!(f, "cascading dirty read"),
+            AbortReason::Injected => write!(f, "injected fault"),
             AbortReason::NeverBegan => write!(f, "execution never began"),
             AbortReason::Other(s) => write!(f, "{s}"),
         }
@@ -395,6 +401,7 @@ mod tests {
             AbortReason::CascadingDirtyRead.key(),
             "cascading_dirty_read"
         );
+        assert_eq!(AbortReason::Injected.key(), "injected");
         // Every free-form reason buckets to one key.
         assert_eq!(AbortReason::Other("deadline".into()).key(), "other");
         assert_eq!(AbortReason::Other("anything".into()).key(), "other");

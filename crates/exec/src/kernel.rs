@@ -53,6 +53,45 @@
 //! schedulers never expose uncommitted effects and never cascade — on
 //! either backend.
 //!
+//! A driver's happy path, in miniature (the simulator and `obase-par` run
+//! exactly these calls, interleaved with their own store and blocking
+//! machinery):
+//!
+//! ```
+//! use obase_exec::kernel::LifecycleKernel;
+//! use obase_core::builder::HistoryBuilder;
+//! use obase_core::object::ObjectBase;
+//! use obase_core::op::{LocalStep, Operation};
+//! use obase_core::sched::NullScheduler;
+//! use obase_core::value::Value;
+//! use std::sync::Arc;
+//!
+//! let mut base = ObjectBase::new();
+//! let x = base.add_object("x", Arc::new(obase_core::testutil::IntRegister));
+//! let base = Arc::new(base);
+//! let mut builder = HistoryBuilder::new(Arc::clone(&base));
+//! builder.set_auto_program_order(false);
+//! let mut kernel = LifecycleKernel::new(base, 1, 4, "none".into(), "doc".into());
+//! let mut sched = NullScheduler;
+//!
+//! // Admission → nested invoke → local step → install → commits.
+//! let pending = kernel.next_pending().expect("one transaction queued");
+//! let top = kernel.admit_top(&mut sched, &mut builder, "T0", pending);
+//! assert!(kernel.request_invoke(&mut sched, top, x, "set").is_grant());
+//! let (msg, child) = kernel.begin_nested(&mut sched, &mut builder, top, x, "set", vec![], None);
+//! let step = LocalStep::new(Operation::unary("Write", 5), Value::Unit);
+//! assert!(kernel.request_local(&mut sched, child, x, &step.op).is_grant());
+//! assert!(kernel.validate_step(&mut sched, child, x, &step).is_grant());
+//! // (The driver installs into *its* store here, then records:)
+//! kernel.install_step(&mut sched, &mut builder, child, x, step, None);
+//! kernel.commit_nested(&mut sched, &mut builder, child, msg, Value::Unit).unwrap();
+//! kernel.commit_top(&mut sched, top).unwrap();
+//!
+//! let result = kernel.into_result(builder.build());
+//! assert_eq!(result.metrics.committed, 1);
+//! assert!(obase_core::legality::is_legal(&result.history));
+//! ```
+//!
 //! [`register_top`]: LifecycleKernel::register_top
 //! [`register_nested`]: LifecycleKernel::register_nested
 //! [`settle_commit_nested`]: LifecycleKernel::settle_commit_nested

@@ -91,6 +91,46 @@
 //! checked by `tests/backend_equivalence.rs` — is that every history a
 //! parallel run records passes the same theory oracle as the simulator's,
 //! for every built-in scheduler spec.
+//!
+//! Most callers go through `obase_runtime::Runtime` (select this backend
+//! with `.backend(ExecutionBackend::Parallel { workers })`); driving the
+//! engine directly looks like this:
+//!
+//! ```
+//! use obase_par::{execute_parallel, ParParams};
+//! use obase_core::object::ObjectBase;
+//! use obase_core::value::Value;
+//! use obase_exec::{MethodDef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};
+//! use obase_lock::N2plScheduler;
+//! use std::sync::Arc;
+//!
+//! let mut base = ObjectBase::new();
+//! let c = base.add_object("c", Arc::new(obase_adt::Counter::default()));
+//! let mut def = ObjectBaseDef::new(Arc::new(base));
+//! def.define_method(c, MethodDef {
+//!     name: "bump".into(),
+//!     params: 0,
+//!     body: Program::local("Add", [Value::Int(1)]),
+//! });
+//! let wl = WorkloadSpec {
+//!     def,
+//!     transactions: (0..4).map(|i| TxnSpec {
+//!         name: format!("T{i}"),
+//!         body: Program::invoke(c, "bump", []),
+//!     }).collect(),
+//! };
+//!
+//! // Four transactions racing on two real worker threads.
+//! let result = execute_parallel(
+//!     &wl,
+//!     Box::new(N2plScheduler::operation_locks()),
+//!     &ParParams { workers: 2, ..ParParams::default() },
+//! );
+//! assert_eq!(result.metrics.committed, 4);
+//! // The wall clock is the makespan, and the recorded history passes the
+//! // same theory checks as a simulated run's.
+//! assert!(obase_core::sg::certifies_serialisable(&result.history));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

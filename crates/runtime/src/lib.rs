@@ -55,7 +55,7 @@ pub mod spec;
 pub use error::{ConfigError, RuntimeError, TheoryViolation};
 pub use registry::{SchedulerFactory, SchedulerRegistry};
 pub use report::{Faceoff, RunReport, TheoryChecks};
-pub use runtime::{ExecutionBackend, Runtime, RuntimeBuilder, Verify};
+pub use runtime::{ExecutionBackend, Runtime, RuntimeBuilder, SchedulerWrapper, Verify};
 pub use spec::SchedulerSpec;
 
 // Re-export the enums scheduler specs are parameterised by, so spec authors

@@ -35,6 +35,38 @@ use obase_core::sched::Scheduler;
 use obase_exec::engine::{execute, ExecParams};
 use obase_exec::{ObjRef, Program, RunResult, WorkloadSpec};
 use obase_par::ParParams;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A decorator applied to every scheduler the runtime instantiates, after
+/// the registry built it and before the backend runs it. Used to interpose
+/// on the scheduler contract — e.g. `obase-scenario`'s fault injector wraps
+/// the real scheduler to doom transactions and stall workers on a seeded
+/// plan — without the registry having to know about the decoration.
+pub type SchedulerWrapper = Arc<dyn Fn(Box<dyn Scheduler>) -> Box<dyn Scheduler> + Send + Sync>;
+
+/// `Option<SchedulerWrapper>` with a useful `Debug` (closures have none).
+#[derive(Clone, Default)]
+struct Wrapper(Option<SchedulerWrapper>);
+
+impl Wrapper {
+    fn apply(&self, scheduler: Box<dyn Scheduler>) -> Box<dyn Scheduler> {
+        match &self.0 {
+            Some(wrap) => wrap(scheduler),
+            None => scheduler,
+        }
+    }
+}
+
+impl fmt::Debug for Wrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(_) => f.write_str("Some(<scheduler wrapper>)"),
+            None => f.write_str("None"),
+        }
+    }
+}
 
 /// Which engine executes a run.
 ///
@@ -99,6 +131,8 @@ pub struct Runtime {
     params: ExecParams,
     backend: ExecutionBackend,
     store_shards: Option<usize>,
+    deadline: Option<Duration>,
+    wrapper: Wrapper,
     verify: Verify,
 }
 
@@ -124,19 +158,24 @@ impl Runtime {
     }
 
     fn dispatch(&self, workload: &WorkloadSpec, scheduler: Box<dyn Scheduler>) -> RunResult {
+        let scheduler = self.wrapper.apply(scheduler);
         match self.backend {
             ExecutionBackend::Simulated => {
                 let mut scheduler = scheduler;
                 execute(workload, scheduler.as_mut(), &self.params)
             }
-            ExecutionBackend::Parallel { workers } => obase_par::execute_parallel(
-                workload,
-                scheduler,
-                &ParParams {
-                    shards: self.store_shards.unwrap_or(0),
-                    ..ParParams::from_exec(&self.params, workers)
-                },
-            ),
+            ExecutionBackend::Parallel { workers } => {
+                let defaults = ParParams::from_exec(&self.params, workers);
+                obase_par::execute_parallel(
+                    workload,
+                    scheduler,
+                    &ParParams {
+                        shards: self.store_shards.unwrap_or(0),
+                        deadline: self.deadline.unwrap_or(defaults.deadline),
+                        ..defaults
+                    },
+                )
+            }
         }
     }
 
@@ -198,6 +237,8 @@ pub struct RuntimeBuilder {
     params: ExecParams,
     backend: ExecutionBackend,
     store_shards: Option<usize>,
+    deadline: Option<Duration>,
+    wrapper: Wrapper,
     verify: Verify,
 }
 
@@ -258,6 +299,29 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the parallel backend's wall-clock deadline — the livelock guard
+    /// that flags a run `timed_out` and shuts it down (default 10 s).
+    /// Ignored by the simulated backend, whose guard is `max_rounds`.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a scheduler decorator applied to every scheduler this
+    /// runtime instantiates (after the registry built it, before a run
+    /// starts). Decorators interpose on the full
+    /// [`Scheduler`](obase_core::sched::Scheduler) contract, so they work
+    /// identically on both backends — `obase-scenario` uses this to inject
+    /// seeded faults (doomed transactions, stalls) into otherwise-correct
+    /// schedulers.
+    pub fn wrap_scheduler(
+        mut self,
+        wrap: impl Fn(Box<dyn Scheduler>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Self {
+        self.wrapper = Wrapper(Some(Arc::new(wrap)));
+        self
+    }
+
     /// Sets the verification level reports are built with (default
     /// [`Verify::Quick`]).
     pub fn verify(mut self, verify: Verify) -> Self {
@@ -298,6 +362,8 @@ impl RuntimeBuilder {
             params: self.params,
             backend: self.backend,
             store_shards: self.store_shards,
+            deadline: self.deadline,
+            wrapper: self.wrapper,
             verify: self.verify,
         })
     }
@@ -459,6 +525,35 @@ mod tests {
         let report = runtime.run(&tiny_workload()).unwrap();
         assert_eq!(report.metrics.committed, 1);
         report.assert_serialisable();
+    }
+
+    #[test]
+    fn scheduler_wrappers_interpose_on_every_run() {
+        use obase_core::ids::ExecId;
+        use obase_core::sched::{Decision, TxnView};
+
+        /// Vetoes every commit certification: with it installed, nothing can
+        /// commit, which proves the wrapper really interposed.
+        struct VetoEverything(Box<dyn Scheduler>);
+        impl Scheduler for VetoEverything {
+            fn name(&self) -> String {
+                format!("veto({})", self.0.name())
+            }
+            fn certify_commit(&mut self, _exec: ExecId, _view: &dyn TxnView) -> Decision {
+                Decision::Abort(obase_core::sched::AbortReason::Injected)
+            }
+        }
+
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .retries(1)
+            .wrap_scheduler(|inner| Box::new(VetoEverything(inner)))
+            .build()
+            .unwrap();
+        let report = runtime.run(&tiny_workload()).unwrap();
+        assert_eq!(report.metrics.committed, 0);
+        assert_eq!(report.metrics.gave_up, 1);
+        assert_eq!(report.metrics.aborts_by_reason["injected"], 2);
     }
 
     #[test]

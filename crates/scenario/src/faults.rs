@@ -1,0 +1,198 @@
+//! Seeded fault injection: a [`Scheduler`] decorator that executes a
+//! [`FaultPlan`].
+//!
+//! The injector sits between the engine and the real scheduler, so it works
+//! identically on both backends (install it with
+//! [`RuntimeBuilder::wrap_scheduler`](obase_runtime::RuntimeBuilder::wrap_scheduler)):
+//!
+//! * **Doom injection** — at commit certification, with probability
+//!   [`doom_rate`](FaultPlan::doom_rate), answer
+//!   [`AbortReason::Injected`] instead of consulting the scheduler. The
+//!   engine then runs its full abort path — subtree marking, store undo,
+//!   scheduler release, cascade collection, retry — exactly as for an
+//!   organic abort, which is the point: chaos exercises the recovery
+//!   machinery, and the `"injected"` bucket of `aborts_by_reason` proves
+//!   the plan fired.
+//! * **Abort storms** — a window of scheduler gates
+//!   ([`Storm`](crate::Storm)) in which certifications are doomed at a
+//!   (typically much higher) rate, modelling a burst of failures.
+//! * **Worker stalls** — at a request gate, with probability
+//!   [`stall_rate`](FaultPlan::stall_rate), answer an empty
+//!   [`Decision::Block`] for the next
+//!   [`stall_ticks`](FaultPlan::stall_ticks) re-requests: the simulator
+//!   burns rounds, the parallel backend parks the worker on its tick
+//!   backstop — a slow worker, not an abort.
+//!
+//! Decisions draw from a ChaCha8 stream seeded by the scenario, so on the
+//! deterministic simulator the whole chaos schedule is reproducible; on the
+//! parallel backend the gate order (and hence the victims) varies with the
+//! OS interleaving, as real faults would.
+//!
+//! [`AbortReason::Injected`]: obase_core::sched::AbortReason::Injected
+
+use crate::spec::FaultPlan;
+use obase_core::ids::{ExecId, ObjectId};
+use obase_core::op::{LocalStep, Operation};
+use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
+use obase_rng::{ChaCha8Rng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The fault-injecting scheduler decorator. See the module docs.
+pub struct FaultInjector {
+    inner: Box<dyn Scheduler>,
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    /// Global gate counter: every request/validate/certify bumps it; the
+    /// storm window is expressed in these.
+    gates: u64,
+    /// Executions currently held in a stall, with remaining ticks.
+    stalled: BTreeMap<ExecId, u32>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("inner", &self.inner.name())
+            .field("plan", &self.plan)
+            .field("gates", &self.gates)
+            .field("stalled", &self.stalled.len())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Wraps `inner`, executing `plan` with a ChaCha8 stream seeded by
+    /// `seed`.
+    pub fn new(inner: Box<dyn Scheduler>, plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            inner,
+            plan,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            gates: 0,
+            stalled: BTreeMap::new(),
+        }
+    }
+
+    /// Stall gate: `Some(Block)` if the execution is (or just became)
+    /// stalled, `None` to pass through to the real scheduler.
+    fn stall(&mut self, exec: ExecId) -> Option<Decision> {
+        self.gates += 1;
+        if let Some(left) = self.stalled.get_mut(&exec) {
+            *left = left.saturating_sub(1);
+            if *left == 0 {
+                self.stalled.remove(&exec);
+                return None;
+            }
+            return Some(Decision::block([]));
+        }
+        if self.plan.stall_rate > 0.0
+            && self.plan.stall_ticks > 0
+            && self.rng.gen_bool(self.plan.stall_rate.clamp(0.0, 1.0))
+        {
+            self.stalled.insert(exec, self.plan.stall_ticks);
+            return Some(Decision::block([]));
+        }
+        None
+    }
+
+    /// Doom gate at certification: `true` dooms the committing execution.
+    fn doom(&mut self) -> bool {
+        self.gates += 1;
+        let in_storm = self
+            .plan
+            .storm
+            .as_ref()
+            .is_some_and(|s| (s.from..s.until).contains(&self.gates));
+        let rate = if in_storm {
+            self.plan.storm.as_ref().expect("checked").rate
+        } else {
+            self.plan.doom_rate
+        };
+        rate > 0.0 && self.rng.gen_bool(rate.clamp(0.0, 1.0))
+    }
+}
+
+impl Scheduler for FaultInjector {
+    fn name(&self) -> String {
+        format!("{}+faults", self.inner.name())
+    }
+
+    fn on_begin(
+        &mut self,
+        exec: ExecId,
+        parent: Option<ExecId>,
+        object: ObjectId,
+        view: &dyn TxnView,
+    ) {
+        self.inner.on_begin(exec, parent, object, view);
+    }
+
+    fn request_invoke(
+        &mut self,
+        exec: ExecId,
+        target: ObjectId,
+        method: &str,
+        view: &dyn TxnView,
+    ) -> Decision {
+        if let Some(block) = self.stall(exec) {
+            return block;
+        }
+        self.inner.request_invoke(exec, target, method, view)
+    }
+
+    fn request_local(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        op: &Operation,
+        view: &dyn TxnView,
+    ) -> Decision {
+        if let Some(block) = self.stall(exec) {
+            return block;
+        }
+        self.inner.request_local(exec, object, op, view)
+    }
+
+    fn validate_step(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        step: &LocalStep,
+        view: &dyn TxnView,
+    ) -> Decision {
+        self.gates += 1;
+        self.inner.validate_step(exec, object, step, view)
+    }
+
+    fn on_step_installed(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        step: &LocalStep,
+        view: &dyn TxnView,
+    ) {
+        self.inner.on_step_installed(exec, object, step, view);
+    }
+
+    fn certify_commit(&mut self, exec: ExecId, view: &dyn TxnView) -> Decision {
+        if self.doom() {
+            return Decision::Abort(AbortReason::Injected);
+        }
+        self.inner.certify_commit(exec, view)
+    }
+
+    fn on_commit(&mut self, exec: ExecId, view: &dyn TxnView) {
+        self.stalled.remove(&exec);
+        self.inner.on_commit(exec, view);
+    }
+
+    fn on_abort(&mut self, exec: ExecId, view: &dyn TxnView) {
+        self.stalled.remove(&exec);
+        self.inner.on_abort(exec, view);
+    }
+
+    // Deliberately *not* decomposable: the gate counter and the fault RNG
+    // are global state, so the parallel backend must run the injector as a
+    // single locked instance (which it does for any scheduler returning
+    // `None` here).
+}

@@ -1,0 +1,196 @@
+//! # obase-scenario — declarative scenarios: a workload DSL + chaos injection
+//!
+//! The ROADMAP's north star asks the system to handle "as many scenarios as
+//! you can imagine"; hand-coding each one as a Rust generator does not
+//! scale. This crate turns scenario authorship into *data*: a [`Scenario`]
+//! describes an object population (any mix of `obase-adt` semantic types),
+//! a weighted client mix with per-class key distributions
+//! (uniform / hot-key / partitioned) and nested-transaction shapes
+//! (invocation depth, `Par` fan-out), and a seeded [`FaultPlan`] of chaos —
+//! doomed commits, abort storms, stalled workers, deadline pressure. A
+//! scenario serialises to JSON (`obase-ser`), compiles to an executable
+//! [`WorkloadSpec`](obase_exec::WorkloadSpec), and runs through the
+//! ordinary [`Runtime`] on either execution backend.
+//!
+//! * [`Scenario::compile`] — the seeded workload compiler (same scenario,
+//!   same workload, always);
+//! * [`FaultInjector`] — the scheduler decorator that executes the fault
+//!   plan, installed via
+//!   [`RuntimeBuilder::wrap_scheduler`](obase_runtime::RuntimeBuilder::wrap_scheduler),
+//!   so both backends run the same chaos;
+//! * [`library`] — ten built-in scenarios (`hot-queue`, `deep-nesting`,
+//!   `abort-storm`, `btree-range-contention`, ...), each stressing one
+//!   mechanism; the backend-equivalence oracle sweeps all of them.
+//!
+//! ```
+//! use obase_scenario as scenario;
+//! use obase_runtime::ExecutionBackend;
+//!
+//! // Pick a library scenario, or Scenario::parse(json) your own.
+//! let s = scenario::by_name("hot-queue").expect("built-in");
+//! let spec = &s.specs[0];
+//! let report = s.run(spec, ExecutionBackend::Simulated)?;
+//! report.assert_serialisable();
+//! # Ok::<(), obase_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod faults;
+pub mod library;
+pub mod spec;
+
+pub use faults::FaultInjector;
+pub use library::{by_name, library, names};
+pub use spec::{
+    AdtKind, ClientClass, FaultPlan, KeyDist, NestingShape, ObjectGroup, Scenario, ScenarioError,
+    Storm,
+};
+
+use obase_runtime::{
+    ConfigError, ExecutionBackend, RunReport, Runtime, RuntimeError, SchedulerSpec, Verify,
+};
+use std::time::Duration;
+
+impl Scenario {
+    /// Builds a [`Runtime`] configured for this scenario: clients, seed,
+    /// retries, [`Verify::Full`], the requested backend, the fault
+    /// injector (when the plan injects anything) and the deadline (when the
+    /// plan sets one).
+    pub fn runtime(
+        &self,
+        spec: SchedulerSpec,
+        backend: ExecutionBackend,
+    ) -> Result<Runtime, ConfigError> {
+        let mut builder = Runtime::builder()
+            .scheduler(spec)
+            .clients(self.clients)
+            .seed(self.seed)
+            .retries(self.retries)
+            .backend(backend)
+            .verify(Verify::Full);
+        if let Some(ms) = self.faults.deadline_ms {
+            builder = builder.deadline(Duration::from_millis(ms));
+        }
+        if !self.faults.is_noop() {
+            let plan = self.faults.clone();
+            let seed = self.seed;
+            builder = builder.wrap_scheduler(move |inner| {
+                Box::new(FaultInjector::new(inner, plan.clone(), seed))
+            });
+        }
+        builder.build()
+    }
+
+    /// Compiles and runs the scenario under one scheduler spec on one
+    /// backend, returning the verified report.
+    pub fn run(
+        &self,
+        spec: &SchedulerSpec,
+        backend: ExecutionBackend,
+    ) -> Result<RunReport, RuntimeError> {
+        self.runtime(spec.clone(), backend)?.run(&self.compile())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_scenario_is_valid_and_distinctly_named() {
+        let lib = library();
+        assert!(lib.len() >= 8, "the library must ship at least 8 scenarios");
+        let names: std::collections::BTreeSet<&str> = lib.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), lib.len());
+        for s in &lib {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!s.specs.is_empty());
+        }
+        assert!(by_name("hot-queue").is_some());
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        for s in library() {
+            let text = s.to_json_string();
+            let back = Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(s, back, "round-trip changed {}", s.name);
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_well_formed() {
+        for s in library() {
+            let a = s.compile();
+            let b = s.compile();
+            assert_eq!(a.transactions.len(), s.transactions);
+            for (x, y) in a.transactions.iter().zip(&b.transactions) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.body, y.body, "{} compiled differently", s.name);
+            }
+            assert_eq!(a.def.method_count(), b.def.method_count());
+        }
+    }
+
+    #[test]
+    fn nesting_shape_is_realised() {
+        let s = by_name("deep-nesting").unwrap();
+        let report = s
+            .run(&s.specs[0], ExecutionBackend::Simulated)
+            .expect("compiles and runs");
+        report.assert_serialisable();
+        // Depth 4 means every committed transaction contributed a 4-long
+        // execution chain: far more executions than transactions.
+        assert!(report.history.exec_count() >= report.metrics.committed * 4);
+    }
+
+    #[test]
+    fn fault_plans_fire_and_are_recorded() {
+        let s = by_name("injected-dooms").unwrap();
+        let report = s.run(&s.specs[0], ExecutionBackend::Simulated).unwrap();
+        report.assert_serialisable();
+        assert!(
+            report.metrics.aborts_by_reason.get("injected").copied() > Some(0),
+            "doom injection left no trace: {:?}",
+            report.metrics.aborts_by_reason
+        );
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected() {
+        let mut s = by_name("hot-queue").unwrap();
+        s.mix[0].group = "missing".into();
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+        let mut s = by_name("hot-queue").unwrap();
+        s.specs.clear();
+        assert!(s.validate().is_err());
+        assert!(matches!(
+            Scenario::parse("{}"),
+            Err(ScenarioError::BadJson(_))
+        ));
+        assert!(Scenario::parse("not json").is_err());
+        // Negative counters must be rejected, not wrapped: a storm window
+        // of [-5 as u64, 200) would be empty and the chaos would silently
+        // never fire.
+        let mut json = by_name("abort-storm").unwrap().to_json_string();
+        json = json.replace("\"from\":0", "\"from\":-5");
+        assert!(
+            matches!(Scenario::parse(&json), Err(ScenarioError::BadJson(_))),
+            "negative storm gate must fail to parse"
+        );
+        let json = by_name("hot-queue")
+            .unwrap()
+            .to_json_string()
+            .replace("\"seed\":101", "\"seed\":-1");
+        assert!(Scenario::parse(&json).is_err(), "negative seed must fail");
+        // Seeds beyond the JSON i64 range cannot round-trip; validate
+        // rejects them instead of letting to_json wrap them negative.
+        let mut s = by_name("hot-queue").unwrap();
+        s.seed = u64::MAX;
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+    }
+}

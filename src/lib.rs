@@ -26,7 +26,11 @@
 //! * [`par`] — the multi-threaded wall-clock backend (worker pool, sharded
 //!   object store, real blocking), selected with
 //!   [`ExecutionBackend::Parallel`];
-//! * [`workload`] — seeded workload generators.
+//! * [`workload`] — seeded workload generators;
+//! * [`scenario`] — the declarative scenario engine: a JSON workload DSL
+//!   (client mixes, key distributions, nesting shapes over every ADT) plus
+//!   seeded fault/chaos injection, with a library of named scenarios the
+//!   backend-equivalence oracle sweeps.
 //!
 //! ## Quickstart
 //!
@@ -81,6 +85,7 @@ pub use obase_lock as lock;
 pub use obase_occ as occ;
 pub use obase_par as par;
 pub use obase_runtime as runtime;
+pub use obase_scenario as scenario;
 pub use obase_tso as tso;
 pub use obase_workload as workload;
 

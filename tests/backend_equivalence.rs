@@ -15,23 +15,8 @@ use obase::prelude::*;
 use obase::workload as wl;
 use std::sync::Arc;
 
-/// Worker counts a test sweeps. CI overrides via `OBASE_EQUIV_WORKERS`
-/// (comma-separated, e.g. `OBASE_EQUIV_WORKERS=1`) to pin the whole suite to
-/// one count per job — single-worker degeneracy and high-contention paths
-/// are exercised in separate jobs on every push.
-fn worker_counts(default: &[usize]) -> Vec<usize> {
-    match std::env::var("OBASE_EQUIV_WORKERS") {
-        Ok(list) => list
-            .split(',')
-            .map(|w| {
-                w.trim()
-                    .parse()
-                    .expect("OBASE_EQUIV_WORKERS takes comma-separated positive integers")
-            })
-            .collect(),
-        Err(_) => default.to_vec(),
-    }
-}
+mod common;
+use common::worker_counts;
 
 /// Seeded workload variety: banking (nested transfers + audits), counters
 /// (commuting hotspot) and dictionaries (reads/inserts/deletes), rotated by

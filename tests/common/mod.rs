@@ -1,0 +1,19 @@
+//! Helpers shared by the integration-test binaries.
+
+/// Worker counts a parallel sweep uses. CI overrides via
+/// `OBASE_EQUIV_WORKERS` (comma-separated, e.g. `OBASE_EQUIV_WORKERS=1`) to
+/// pin a whole suite to one count per job, so single-worker degeneracy and
+/// high-contention paths are exercised in separate jobs on every push.
+pub fn worker_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("OBASE_EQUIV_WORKERS") {
+        Ok(list) => list
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .expect("OBASE_EQUIV_WORKERS takes comma-separated positive integers")
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}

@@ -1,0 +1,169 @@
+//! The scenario engine's acceptance gates.
+//!
+//! Every library scenario must (1) be exactly reproducible per seed on the
+//! simulated backend — the workload compiler *and* the fault injector draw
+//! from seeded streams — and (2) pass the full serialisability oracle
+//! (legality, Theorem 2 with witness, Theorem 5) on both backends, the
+//! parallel one across worker counts {1, 2, 8}. Fault plans must provably
+//! fire: injected dooms land in the `"injected"` bucket of the abort-reason
+//! histogram.
+
+use obase::prelude::*;
+use obase::scenario;
+
+mod common;
+use common::worker_counts;
+
+/// Property-style seeded loop: on the simulator, a scenario is a pure
+/// function of its seed — same metrics, same history, run after run — and
+/// perturbing the seed genuinely changes the run (the compiler is not
+/// ignoring it).
+#[test]
+fn library_scenarios_are_deterministic_per_seed_on_the_simulator() {
+    for s in scenario::library() {
+        let spec = &s.specs[0];
+        let a = s.run(spec, ExecutionBackend::Simulated).unwrap();
+        let b = s.run(spec, ExecutionBackend::Simulated).unwrap();
+        for report in [&a, &b] {
+            assert!(!report.metrics.timed_out, "{} timed out", s.name);
+            report.assert_serialisable();
+        }
+        assert_eq!(a.metrics.rounds, b.metrics.rounds, "{}", s.name);
+        assert_eq!(a.metrics.committed, b.metrics.committed, "{}", s.name);
+        assert_eq!(a.metrics.aborts, b.metrics.aborts, "{}", s.name);
+        assert_eq!(
+            a.metrics.aborts_by_reason, b.metrics.aborts_by_reason,
+            "{}",
+            s.name
+        );
+        assert_eq!(
+            a.metrics.installed_steps, b.metrics.installed_steps,
+            "{}",
+            s.name
+        );
+        assert_eq!(a.history.step_count(), b.history.step_count(), "{}", s.name);
+
+        // A different seed is a different workload: some generated
+        // transaction body (object pick, key, method variant) must change.
+        let mut reseeded = s.clone();
+        reseeded.seed ^= 0xDEAD_BEEF;
+        let original = s.compile();
+        let perturbed = reseeded.compile();
+        assert!(
+            original
+                .transactions
+                .iter()
+                .zip(&perturbed.transactions)
+                .any(|(x, y)| x.body != y.body),
+            "{}: reseeding left every transaction body unchanged",
+            s.name
+        );
+    }
+}
+
+/// The backend-equivalence oracle over the whole scenario library: every
+/// scenario × every spec it names × the simulator and the parallel backend
+/// at workers {1, 2, 8}, every history past the full theory oracle.
+#[test]
+fn equivalence_oracle_over_the_scenario_library() {
+    let workers = worker_counts(&[1, 2, 8]);
+    for s in scenario::library() {
+        for spec in &s.specs {
+            let backends = std::iter::once(ExecutionBackend::Simulated).chain(
+                workers
+                    .iter()
+                    .map(|&w| ExecutionBackend::Parallel { workers: w }),
+            );
+            for backend in backends {
+                let report = s
+                    .run(spec, backend)
+                    .unwrap_or_else(|e| panic!("{} failed to run: {e}", s.name));
+                assert!(
+                    !report.metrics.timed_out,
+                    "{} [{}] timed out: {}",
+                    s.name,
+                    backend.label(),
+                    report.summary()
+                );
+                report.assert_serialisable();
+                // Every settled transaction is accounted for.
+                assert_eq!(
+                    report.metrics.committed + report.metrics.gave_up,
+                    report.metrics.submitted,
+                    "{} [{}] lost transactions: {}",
+                    s.name,
+                    backend.label(),
+                    report.summary()
+                );
+            }
+        }
+    }
+}
+
+/// The fault plan provably fires: chaos scenarios show injected dooms in
+/// the abort-reason histogram, and retries still drive (almost) everything
+/// to commit.
+#[test]
+fn fault_plans_leave_an_injected_histogram_trail() {
+    for name in ["abort-storm", "injected-dooms"] {
+        let s = scenario::by_name(name).expect("library scenario");
+        let report = s
+            .run(&s.specs[0], ExecutionBackend::Simulated)
+            .expect("runs");
+        report.assert_serialisable();
+        let injected = report
+            .metrics
+            .aborts_by_reason
+            .get("injected")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            injected > 0,
+            "{name}: no injected aborts recorded ({:?})",
+            report.metrics.aborts_by_reason
+        );
+        assert!(
+            report.metrics.committed > 0,
+            "{name}: chaos starved every transaction"
+        );
+    }
+}
+
+/// A scenario authored as JSON (the docs/SCENARIOS.md walkthrough example)
+/// parses, compiles and passes the oracle on both backends.
+#[test]
+fn handwritten_json_scenario_runs_end_to_end() {
+    let text = r#"{
+        "name": "two-tills",
+        "seed": 7,
+        "transactions": 12,
+        "clients": 3,
+        "retries": 16,
+        "groups": [
+            {"name": "tills", "adt": "account", "objects": 2, "keys": 0},
+            {"name": "ledger", "adt": "btree", "objects": 1, "keys": 16}
+        ],
+        "mix": [
+            {"name": "sale", "weight": 3, "group": "tills", "ops": 2,
+             "read_fraction": 0.25,
+             "dist": {"kind": "hot-key", "theta": 1.0},
+             "nesting": {"depth": 1, "width": 2, "parallel": true}},
+            {"name": "audit", "weight": 1, "group": "ledger", "ops": 2,
+             "read_fraction": 0.75,
+             "dist": {"kind": "uniform"},
+             "nesting": {"depth": 1, "width": 1, "parallel": false}}
+        ],
+        "faults": {"doom_rate": 0.05, "storm": null,
+                   "stall_rate": 0.0, "stall_ticks": 0, "deadline_ms": null},
+        "specs": [{"kind": "n2pl", "granularity": "operation"}]
+    }"#;
+    let s = scenario::Scenario::parse(text).expect("the walkthrough example must stay valid");
+    for backend in [
+        ExecutionBackend::Simulated,
+        ExecutionBackend::Parallel { workers: 2 },
+    ] {
+        let report = s.run(&s.specs[0], backend).expect("runs");
+        assert!(!report.metrics.timed_out);
+        report.assert_serialisable();
+    }
+}
