@@ -12,11 +12,16 @@
 //!
 //! Markdown tables go to stdout; the same rows are written as JSON (keyed by
 //! experiment id, with per-row throughput/makespan/abort-rate and — for the
-//! e9 backend face-off — wall-clock milliseconds and transactions/second) to
-//! `BENCH_results.json` in the working directory unless `--out` says
-//! otherwise.
+//! e9 backend face-off and e11 durability sweep — wall-clock milliseconds
+//! and transactions/second) to `BENCH_results.json` in the working directory
+//! unless `--out` says otherwise. The results are *merged* into the existing
+//! document: entries written by other runs (e.g. the `scenarios` binary's
+//! `"scenarios"` key, or experiment families a subset run did not touch)
+//! survive.
 
 use obase_bench as xp;
+use obase_ser::Json;
+use std::collections::BTreeMap;
 
 /// An experiment entry: key, title, and the row-producing function.
 type Experiment = (
@@ -30,6 +35,7 @@ fn main() {
     let mut scale = 1usize;
     let mut out_path: Option<String> = None;
     let mut assert_scaling = false;
+    let mut assert_durability = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -46,6 +52,10 @@ fn main() {
             // CI guard: fail the process if the e10 low-contention sweep
             // shows 8 workers regressing below the 1-worker point.
             "--assert-scaling" => assert_scaling = true,
+            // Durability guard: fail the process if the e11 sweep shows a
+            // group-commit window of 8 recovering less than 3× the
+            // throughput of fsync-per-record.
+            "--assert-durability" => assert_durability = true,
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -102,6 +112,11 @@ fn main() {
             "E10 — worker-scaling curves of the parallel backend (wall clock)",
             Box::new(xp::e10_worker_scaling),
         ),
+        (
+            "e11",
+            "E11 — durability: throughput vs group-commit window of the WAL backend",
+            Box::new(xp::e11_durability),
+        ),
     ];
 
     let mut results: Vec<(&str, &str, Vec<xp::Row>)> = Vec::new();
@@ -128,24 +143,43 @@ fn main() {
             }
         }
     }
-    // The default BENCH_results.json is the committed record of the full
-    // line-up, so only full runs refresh it; a subset (or a typo'd key)
-    // must name an explicit --out instead of clobbering it with a partial
-    // document.
-    let out_path = match (out_path, selected.is_empty()) {
-        (Some(path), _) => path,
-        (None, true) => "BENCH_results.json".to_owned(),
-        (None, false) => {
-            eprintln!(
-                "subset run ({} experiments): BENCH_results.json left untouched; \
-                 pass --out PATH to record the results",
-                results.len()
-            );
-            return;
+    if assert_durability {
+        let e11 = results
+            .iter()
+            .find(|(key, _, _)| *key == "e11")
+            .map(|(_, _, rows)| rows.as_slice())
+            .expect("--assert-durability requires the e11 experiment to run");
+        match xp::check_durability_guard(e11) {
+            Ok(()) => eprintln!("durability guard: ok (group commit 8 ≥ 3× fsync-per-record)"),
+            Err(msg) => {
+                eprintln!("durability guard FAILED: {msg}");
+                std::process::exit(1);
+            }
         }
+    }
+    // Since the write below merges, a subset run refreshes only the entries
+    // it ran — so BENCH_results.json is a safe default --out even for
+    // subsets (a typo'd key simply merges nothing).
+    let out_path = out_path.unwrap_or_else(|| "BENCH_results.json".to_owned());
+    // Merge into the existing results document so entries produced by other
+    // runs — the `scenarios` binary's `"scenarios"` key, or families this
+    // run skipped — survive. An existing file that fails to parse is an
+    // error, not an excuse to clobber it.
+    let mut doc: BTreeMap<String, Json> = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => match Json::parse(&existing) {
+            Ok(Json::Object(map)) => map,
+            Ok(_) | Err(_) => panic!(
+                "{out_path} exists but is not a JSON object; refusing to overwrite it \
+                 (fix or remove the file, or pick another --out path)"
+            ),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+        Err(e) => panic!("cannot read existing {out_path}: {e}; refusing to overwrite it"),
     };
-    let doc = xp::results_json(&results);
-    std::fs::write(&out_path, format!("{doc}\n"))
+    if let Json::Object(map) = xp::results_json(&results) {
+        doc.extend(map);
+    }
+    std::fs::write(&out_path, Json::Object(doc).to_string() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    eprintln!("wrote {out_path} ({} experiments)", results.len());
+    eprintln!("wrote {out_path} ({} experiments merged)", results.len());
 }

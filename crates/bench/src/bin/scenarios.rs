@@ -11,6 +11,8 @@
 //! cargo run -p obase-bench --release --bin scenarios -- hot-queue abort-storm
 //! cargo run -p obase-bench --release --bin scenarios -- --file my-scenario.json
 //! cargo run -p obase-bench --release --bin scenarios -- --backend par --workers 8
+//! cargo run -p obase-bench --release --bin scenarios -- --backend wal --wal-dir /tmp/wals
+//! cargo run -p obase-bench --release --bin scenarios -- --backend all  # sim + par + wal
 //! cargo run -p obase-bench --release --bin scenarios -- --list          # print scenario names
 //! cargo run -p obase-bench --release --bin scenarios -- --out results.json
 //! ```
@@ -28,6 +30,7 @@ fn main() {
     let mut out_path = "BENCH_results.json".to_owned();
     let mut backend = "both".to_owned();
     let mut workers = 4usize;
+    let mut wal_dir: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut selected: Vec<String> = Vec::new();
     let mut list = false;
@@ -36,13 +39,14 @@ fn main() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out takes a path"),
             "--file" => files.push(it.next().expect("--file takes a path")),
-            "--backend" => backend = it.next().expect("--backend takes sim|par|both"),
+            "--backend" => backend = it.next().expect("--backend takes sim|par|both|wal|all"),
             "--workers" => {
                 workers = it
                     .next()
                     .and_then(|w| w.parse().ok())
                     .expect("--workers takes a positive integer");
             }
+            "--wal-dir" => wal_dir = Some(it.next().expect("--wal-dir takes a path")),
             "--list" => list = true,
             other => selected.push(other.to_owned()),
         }
@@ -53,11 +57,18 @@ fn main() {
         }
         return;
     }
+    // The durable legs write their logs here; default is a fresh scratch
+    // directory under the system temp dir.
+    let wal_dir = wal_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| obase_wal::scratch_dir("scenarios"));
     let choice = match backend.as_str() {
         "sim" | "simulated" => xp::BackendChoice::Simulated,
         "par" | "parallel" => xp::BackendChoice::Parallel { workers },
         "both" => xp::BackendChoice::Both { workers },
-        other => panic!("--backend takes sim|par|both, not {other:?}"),
+        "wal" | "durable" => xp::BackendChoice::Durable { wal_dir },
+        "all" => xp::BackendChoice::All { workers, wal_dir },
+        other => panic!("--backend takes sim|par|both|wal|all, not {other:?}"),
     };
 
     // Resolve the scenario set: named library entries plus any JSON files;
@@ -85,7 +96,7 @@ fn main() {
     let mut rows: Vec<xp::Row> = Vec::new();
     for scenario in &scenarios {
         eprintln!("running scenario {}...", scenario.name);
-        rows.extend(xp::scenario_rows(scenario, choice));
+        rows.extend(xp::scenario_rows(scenario, &choice));
     }
     let title = format!(
         "Scenario sweep — {} scenarios × their scheduler line-ups, per backend",

@@ -496,10 +496,10 @@ pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
         SchedulerSpec::nto_provisional(),
         SchedulerSpec::SgtCertifier,
     ] {
-        for backend in backends {
+        for backend in &backends {
             let report = Runtime::builder()
                 .scheduler(spec.clone())
-                .backend(backend)
+                .backend(backend.clone())
                 .clients(8)
                 .seed(1009)
                 .retries(64)
@@ -619,6 +619,122 @@ pub fn e10_worker_scaling(scale: usize) -> Vec<Row> {
     rows
 }
 
+/// E11 — durability cost of the write-ahead-logged backend: wall-clock
+/// throughput against the group-commit window, on a queue mix whose
+/// transactions are small enough that the fsync is the dominant cost.
+/// Window 0 never fsyncs (the upper bound: logging without durability),
+/// window 1 fsyncs every commit record (classic force-at-commit), larger
+/// windows batch that many commits per fsync. Every run's log is recovered
+/// afterwards and the recovered history held to the full oracle, so the
+/// numbers are for logs that demonstrably replay.
+///
+/// Each point is the best of three runs (fsync latency on shared machines
+/// is noisy; the max is the honest capability estimate).
+pub fn e11_durability(scale: usize) -> Vec<Row> {
+    let workload = wl::queues(&wl::QueueParams {
+        queues: 4,
+        producers: 60 * scale,
+        consumers: 60 * scale,
+        preload: 16,
+        seed: 1011,
+    });
+    let windows = [0usize, 1, 8, 64, 256];
+    let mut points: Vec<(usize, RunMetrics)> = Vec::new();
+    for &gc in &windows {
+        let mut best: Option<RunMetrics> = None;
+        for attempt in 0..3 {
+            let dir = obase_wal::scratch_dir(&format!("e11-gc{gc}-{attempt}"));
+            let report = Runtime::builder()
+                .scheduler(SchedulerSpec::n2pl_operation())
+                .backend(ExecutionBackend::Durable {
+                    dir: dir.clone(),
+                    group_commit: gc,
+                })
+                .clients(8)
+                .seed(1011)
+                .retries(64)
+                .verify(Verify::Quick)
+                .build()
+                .expect("valid experiment configuration")
+                .run(&workload)
+                .expect("well-formed generated workload");
+            assert!(
+                report.checks.all_passed(),
+                "durable backend at group_commit={gc} produced a non-serialisable history"
+            );
+            // The log each run left behind must recover to the same set of
+            // committed transactions and pass the oracle.
+            let recovered = obase_wal::WalBackend::new(workload.def.base().clone())
+                .recover(&dir)
+                .expect("freshly written log recovers");
+            recovered.assert_serialisable();
+            assert_eq!(recovered.committed.len(), report.metrics.committed);
+            std::fs::remove_dir_all(&dir).ok();
+            let better = best
+                .as_ref()
+                .is_none_or(|b| report.metrics.wall_throughput() > b.wall_throughput());
+            if better {
+                best = Some(report.metrics);
+            }
+        }
+        points.push((gc, best.expect("three runs happened")));
+    }
+    let per_record = points
+        .iter()
+        .find(|(gc, _)| *gc == 1)
+        .map(|(_, m)| m.wall_throughput())
+        .unwrap_or(0.0);
+    points
+        .into_iter()
+        .map(|(gc, m)| {
+            let label = if gc == 0 {
+                "no-fsync baseline (gc=0)".to_owned()
+            } else {
+                format!("group commit {gc}")
+            };
+            Row::new(label)
+                .with("group_commit", gc as f64)
+                .with("committed", m.committed as f64)
+                .with("aborts", m.aborts as f64)
+                .with("wall_ms", m.wall_micros as f64 / 1000.0)
+                .with("txn_per_sec", m.wall_throughput())
+                .with(
+                    "speedup_vs_gc1",
+                    if per_record > 0.0 {
+                        m.wall_throughput() / per_record
+                    } else {
+                        0.0
+                    },
+                )
+                .with_histogram("aborts_by_reason", abort_reasons(&m))
+        })
+        .collect()
+}
+
+/// The durability guard over [`e11_durability`] rows: a group-commit window
+/// of 8 must recover at least 3× the throughput of fsync-per-record
+/// (window 1) — otherwise batching is broken and every commit is paying a
+/// full force-to-disk again.
+pub fn check_durability_guard(rows: &[Row]) -> Result<(), String> {
+    const FACTOR: f64 = 3.0;
+    let point = |gc: f64| {
+        rows.iter()
+            .find(|r| r.values.get("group_commit") == Some(&gc))
+            .and_then(|r| r.values.get("txn_per_sec").copied())
+            .ok_or_else(|| format!("e11 rows missing the group_commit={gc} point"))
+    };
+    let per_record = point(1.0)?;
+    let batched = point(8.0)?;
+    if batched < per_record * FACTOR {
+        return Err(format!(
+            "group-commit window 8 recovered only {batched:.0} txn/s against \
+             {per_record:.0} txn/s at fsync-per-record — expected ≥{FACTOR}×; \
+             group commit is no longer batching fsyncs"
+        ));
+    }
+    Ok(())
+}
+
 /// The CI anti-thundering-herd guard over [`e10_worker_scaling`] rows: on
 /// the low-contention workload, 8-worker wall-throughput must not regress
 /// below the 1-worker point (generous tolerance — adding workers must never
@@ -721,6 +837,29 @@ mod tests {
         ];
         assert!(check_scaling_guard(&rows).is_err());
         assert!(check_scaling_guard(&[]).is_err());
+    }
+
+    #[test]
+    fn durability_guard_reads_e11_rows() {
+        let rows = vec![
+            Row::new("group commit 1")
+                .with("group_commit", 1.0)
+                .with("txn_per_sec", 1000.0),
+            Row::new("group commit 8")
+                .with("group_commit", 8.0)
+                .with("txn_per_sec", 3500.0),
+        ];
+        assert!(check_durability_guard(&rows).is_ok());
+        let rows = vec![
+            Row::new("group commit 1")
+                .with("group_commit", 1.0)
+                .with("txn_per_sec", 1000.0),
+            Row::new("group commit 8")
+                .with("group_commit", 8.0)
+                .with("txn_per_sec", 1200.0),
+        ];
+        assert!(check_durability_guard(&rows).is_err());
+        assert!(check_durability_guard(&[]).is_err());
     }
 
     #[test]

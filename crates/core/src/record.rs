@@ -110,6 +110,15 @@ pub trait HistoryRecorder {
 
     /// `exec` aborts (records the distinguished abort step).
     fn record_abort(&mut self, exec: ExecId);
+
+    /// The top-level transaction `exec` committed. The in-memory history
+    /// derives commitment from the *absence* of an abort mark, so the
+    /// default does nothing; durable recorders (the `obase-wal` write-ahead
+    /// log) override this to persist the commit record — the point at which
+    /// a transaction's steps survive a crash.
+    fn record_commit_top(&mut self, exec: ExecId) {
+        let _ = exec;
+    }
 }
 
 impl HistoryRecorder for HistoryBuilder {

@@ -35,6 +35,11 @@ pub enum AbortReason {
     /// The scheduler was consulted about an execution it never saw begin —
     /// an internal bookkeeping invariant was violated.
     NeverBegan,
+    /// The transaction was in flight when the process crashed and was rolled
+    /// back by write-ahead-log recovery (`obase-wal`); distinct from
+    /// `Injected` so crash-test harnesses can tell recovery rollbacks from
+    /// scheduler-doomed chaos in the metrics histograms.
+    CrashRollback,
     /// Any other scheduler-specific reason.
     Other(String),
 }
@@ -55,6 +60,7 @@ impl AbortReason {
             AbortReason::CascadingDirtyRead => "cascading_dirty_read",
             AbortReason::Injected => "injected",
             AbortReason::NeverBegan => "never_began",
+            AbortReason::CrashRollback => "crash_rollback",
             AbortReason::Other(_) => "other",
         }
     }
@@ -70,6 +76,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::CascadingDirtyRead => write!(f, "cascading dirty read"),
             AbortReason::Injected => write!(f, "injected fault"),
             AbortReason::NeverBegan => write!(f, "execution never began"),
+            AbortReason::CrashRollback => write!(f, "rolled back during crash recovery"),
             AbortReason::Other(s) => write!(f, "{s}"),
         }
     }
@@ -390,6 +397,10 @@ mod tests {
             AbortReason::CascadingDirtyRead.to_string(),
             "cascading dirty read"
         );
+        assert_eq!(
+            AbortReason::CrashRollback.to_string(),
+            "rolled back during crash recovery"
+        );
         assert_eq!(AbortReason::Other("custom".into()).to_string(), "custom");
     }
 
@@ -402,6 +413,7 @@ mod tests {
             "cascading_dirty_read"
         );
         assert_eq!(AbortReason::Injected.key(), "injected");
+        assert_eq!(AbortReason::CrashRollback.key(), "crash_rollback");
         // Every free-form reason buckets to one key.
         assert_eq!(AbortReason::Other("deadline".into()).key(), "other");
         assert_eq!(AbortReason::Other("anything".into()).key(), "other");

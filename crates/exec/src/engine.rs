@@ -41,6 +41,7 @@ use obase_core::graph::DiGraph;
 use obase_core::ids::{ExecId, StepId};
 use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
 use obase_core::op::{LocalStep, Operation};
+use obase_core::record::HistoryRecorder;
 use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
 use obase_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
@@ -111,12 +112,12 @@ struct SideMeta {
     resume_thread: Option<usize>,
 }
 
-struct EngineState {
+struct EngineState<R: HistoryRecorder> {
     def: crate::program::ObjectBaseDef,
     specs: Vec<crate::program::TxnSpec>,
     config: ExecParams,
     kernel: LifecycleKernel,
-    builder: HistoryBuilder,
+    recorder: R,
     store: ObjectStore,
     side: Vec<SideMeta>,
     threads: Vec<Thread>,
@@ -128,12 +129,12 @@ struct EngineState {
 /// phase is plain field access — the store undo runs in place and victim
 /// threads of control are torn down immediately (no dooming; there is no
 /// other thread to unwind).
-struct SimDriver<'a> {
-    st: &'a mut EngineState,
+struct SimDriver<'a, R: HistoryRecorder> {
+    st: &'a mut EngineState<R>,
     scheduler: &'a mut dyn Scheduler,
 }
 
-impl ExecutionDriver for SimDriver<'_> {
+impl<R: HistoryRecorder> ExecutionDriver for SimDriver<'_, R> {
     fn mark_aborted(
         &mut self,
         top: ExecId,
@@ -143,7 +144,7 @@ impl ExecutionDriver for SimDriver<'_> {
         let subtree =
             self.st
                 .kernel
-                .mark_abort_subtree(&mut self.st.builder, top, reason, cascade)?;
+                .mark_abort_subtree(&mut self.st.recorder, top, reason, cascade)?;
         let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
         for th in &mut self.st.threads {
             if subtree_set.contains(&th.exec) {
@@ -183,11 +184,15 @@ impl ExecutionDriver for SimDriver<'_> {
     }
 }
 
-impl EngineState {
-    fn new(workload: &WorkloadSpec, config: &ExecParams, scheduler_name: String) -> Self {
+impl<R: HistoryRecorder> EngineState<R> {
+    fn new(
+        workload: &WorkloadSpec,
+        config: &ExecParams,
+        scheduler_name: String,
+        backend_label: &str,
+        recorder: R,
+    ) -> Self {
         let base = std::sync::Arc::clone(workload.def.base());
-        let mut builder = HistoryBuilder::new(std::sync::Arc::clone(&base));
-        builder.set_auto_program_order(false);
         EngineState {
             def: workload.def.clone(),
             specs: workload.transactions.clone(),
@@ -197,9 +202,9 @@ impl EngineState {
                 workload.transactions.len(),
                 config.max_retries,
                 scheduler_name,
-                "simulated".to_owned(),
+                backend_label.to_owned(),
             ),
-            builder,
+            recorder,
             store: ObjectStore::new(base),
             side: Vec::new(),
             threads: Vec::new(),
@@ -220,7 +225,7 @@ impl EngineState {
             let spec = &self.specs[p.spec];
             let top = self
                 .kernel
-                .admit_top(scheduler, &mut self.builder, &spec.name, p);
+                .admit_top(scheduler, &mut self.recorder, &spec.name, p);
             self.side.push(SideMeta::default());
             let body = spec.body.clone();
             self.threads.push(Thread {
@@ -378,7 +383,7 @@ impl EngineState {
         let prev = self.threads[tid].prev_step;
         let sid = self
             .kernel
-            .install_step(scheduler, &mut self.builder, exec, object, step, prev);
+            .install_step(scheduler, &mut self.recorder, exec, object, step, prev);
         let th = &mut self.threads[tid];
         th.prev_step = Some(sid);
         th.last_value = ret;
@@ -422,7 +427,7 @@ impl EngineState {
         let prev = self.threads[tid].prev_step;
         let (msg, child) = self.kernel.begin_nested(
             scheduler,
-            &mut self.builder,
+            &mut self.recorder,
             exec,
             target,
             &method,
@@ -478,7 +483,7 @@ impl EngineState {
                     .expect("nested execution has a message step");
                 if let Err(reason) = self.kernel.commit_nested(
                     scheduler,
-                    &mut self.builder,
+                    &mut self.recorder,
                     exec,
                     msg,
                     retval.clone(),
@@ -494,7 +499,7 @@ impl EngineState {
                 self.threads[rt].state = ThreadState::Ready;
             }
             None => {
-                if let Err(reason) = self.kernel.commit_top(scheduler, exec) {
+                if let Err(reason) = self.kernel.commit_top(scheduler, &mut self.recorder, exec) {
                     self.abort_top_level(scheduler, exec, reason);
                     return;
                 }
@@ -541,8 +546,32 @@ pub fn execute(
     scheduler: &mut dyn Scheduler,
     config: &ExecParams,
 ) -> RunResult {
+    let mut builder = HistoryBuilder::new(std::sync::Arc::clone(workload.def.base()));
+    builder.set_auto_program_order(false);
+    let (kernel, builder) = drive(workload, scheduler, config, "simulated", builder);
+    kernel.into_result(builder.build())
+}
+
+/// Drives the simulator loop with a caller-supplied [`HistoryRecorder`] —
+/// the generic entry point backends layer on. [`execute`] is this with a
+/// plain [`HistoryBuilder`]; the durable backend (`obase-wal`) passes a
+/// recorder that streams every event into a write-ahead log as it happens.
+///
+/// The recorder must allocate final step ids immediately (the simulator is
+/// single-threaded, so there is no stitch pass) and must have automatic
+/// program-order recording disabled — the kernel records explicit edges.
+/// Returns the finished kernel (metrics, registry) and the recorder; the
+/// caller turns its recording into a [`History`](obase_core::history::History)
+/// and calls [`LifecycleKernel::into_result`].
+pub fn drive<R: HistoryRecorder>(
+    workload: &WorkloadSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &ExecParams,
+    backend_label: &str,
+    recorder: R,
+) -> (LifecycleKernel, R) {
     let started = std::time::Instant::now();
-    let mut st = EngineState::new(workload, config, scheduler.name());
+    let mut st = EngineState::new(workload, config, scheduler.name(), backend_label, recorder);
     while !st.settled() && st.kernel.metrics.rounds < config.max_rounds {
         st.kernel.metrics.rounds += 1;
         st.start_pending(scheduler);
@@ -569,9 +598,9 @@ pub fn execute(
     }
     st.kernel.metrics.wall_micros = started.elapsed().as_micros() as u64;
     let EngineState {
-        kernel, builder, ..
+        kernel, recorder, ..
     } = st;
-    kernel.into_result(builder.build())
+    (kernel, recorder)
 }
 
 #[cfg(test)]

@@ -85,7 +85,7 @@
 //! // (The driver installs into *its* store here, then records:)
 //! kernel.install_step(&mut sched, &mut builder, child, x, step, None);
 //! kernel.commit_nested(&mut sched, &mut builder, child, msg, Value::Unit).unwrap();
-//! kernel.commit_top(&mut sched, top).unwrap();
+//! kernel.commit_top(&mut sched, &mut builder, top).unwrap();
 //!
 //! let result = kernel.into_result(builder.build());
 //! assert_eq!(result.metrics.committed, 1);
@@ -385,12 +385,15 @@ impl LifecycleKernel {
     }
 
     /// Transition: settles a certified top-level commit in the registry and
-    /// the metrics.
-    pub fn settle_commit_top(&mut self, top: ExecId) {
+    /// the metrics, and notifies the recorder (the durability hook:
+    /// `obase-wal` persists the commit record here; in-memory recorders
+    /// ignore it).
+    pub fn settle_commit_top(&mut self, rec: &mut dyn HistoryRecorder, top: ExecId) {
         let record = self.execs.record_mut(top);
         record.live = false;
         record.committed = true;
         self.metrics.committed += 1;
+        rec.record_commit_top(top);
     }
 
     /// Certifies and commits a finished nested execution: the scheduler may
@@ -420,11 +423,12 @@ impl LifecycleKernel {
     pub fn commit_top(
         &mut self,
         scheduler: &mut dyn Scheduler,
+        rec: &mut dyn HistoryRecorder,
         top: ExecId,
     ) -> Result<(), AbortReason> {
         self.certify(scheduler, top)?;
         scheduler.on_commit(top, &self.execs.view());
-        self.settle_commit_top(top);
+        self.settle_commit_top(rec, top);
         Ok(())
     }
 
@@ -632,7 +636,7 @@ mod tests {
         assert_ne!(sid, sid2);
         k.commit_nested(&mut sched, &mut b, child, msg, Value::Unit)
             .unwrap();
-        k.commit_top(&mut sched, top).unwrap();
+        k.commit_top(&mut sched, &mut b, top).unwrap();
         assert_eq!(k.metrics.committed, 1);
         assert_eq!(k.metrics.installed_steps, 2);
         let result = k.into_result(b.build());
@@ -681,7 +685,7 @@ mod tests {
         let (rmsg, rchild) = k.begin_nested(&mut sched, &mut b, reader, x, "get", vec![], None);
         k.commit_nested(&mut sched, &mut b, rchild, rmsg, Value::Int(5))
             .unwrap();
-        k.commit_top(&mut sched, reader).unwrap();
+        k.commit_top(&mut sched, &mut b, reader).unwrap();
         assert_eq!(k.metrics.committed, 1);
 
         // Abort the writer; the undo (driver-side, simulated here) reports

@@ -703,7 +703,8 @@ fn commit_top_level(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
         if l.doomed.contains_key(&top) {
             None
         } else {
-            l.kernel.settle_commit_top(top);
+            let mut rec = BufferedRecorder::new(&shared.clock, &mut actx.buf);
+            l.kernel.settle_commit_top(&mut rec, top);
             Some(l.kernel.execs.subtree_of(top))
         }
     };

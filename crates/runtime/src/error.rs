@@ -114,6 +114,10 @@ pub enum RuntimeError {
         /// The offending transaction's label.
         transaction: String,
     },
+    /// The durable backend could not write (or finalise) its write-ahead
+    /// log. Carries the rendered I/O error; the run's effects must be
+    /// considered not durable.
+    Durability(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -138,6 +142,9 @@ impl fmt::Display for RuntimeError {
                 "transaction {transaction:?} issues a local operation at top \
                  level, but the environment has no variables"
             ),
+            RuntimeError::Durability(detail) => {
+                write!(f, "write-ahead log failure: {detail}")
+            }
         }
     }
 }

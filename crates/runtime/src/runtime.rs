@@ -70,13 +70,13 @@ impl fmt::Debug for Wrapper {
 
 /// Which engine executes a run.
 ///
-/// Both backends are drivers over the one lifecycle kernel
+/// All backends are drivers over the one lifecycle kernel
 /// (`obase_exec::kernel`): they run the same commit/abort/undo code, drive
 /// the same [`Scheduler`](obase_core::sched::Scheduler) contract and
 /// produce the same artefacts (history, metrics — including the
 /// per-reason abort histogram — and theory checks), so any
-/// [`SchedulerSpec`] runs unchanged on either.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+/// [`SchedulerSpec`] runs unchanged on any of them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum ExecutionBackend {
     /// The deterministic interleaving simulator (`obase-exec`): one logical
     /// processor per activity on a virtual round clock, exactly reproducible
@@ -92,15 +92,39 @@ pub enum ExecutionBackend {
         /// Worker threads (also the inter-transaction concurrency cap).
         workers: usize,
     },
+    /// The durable engine (`obase-wal`): the simulator loop with every
+    /// lifecycle event streamed through a write-ahead log in `dir`, so a
+    /// crashed run can be recovered (`obase_wal::WalBackend::recover`) and
+    /// held to the same serialisability oracle. Deterministic like
+    /// [`Simulated`](ExecutionBackend::Simulated); slower by the cost of
+    /// logging and group commit.
+    Durable {
+        /// Directory holding the write-ahead log (created if missing; an
+        /// existing log is truncated at the start of each run).
+        dir: std::path::PathBuf,
+        /// Commit records batched per fsync: `1` syncs every commit, larger
+        /// windows trade the tail of a window for throughput, `0` never
+        /// syncs (benchmark baseline).
+        group_commit: usize,
+    },
 }
 
 impl ExecutionBackend {
-    /// A short label ("simulated", "parallel(8)") for reports and tables.
+    /// A short label ("simulated", "parallel(8)", "durable(gc=8)") for
+    /// reports and tables.
     pub fn label(&self) -> String {
         match self {
             ExecutionBackend::Simulated => "simulated".to_owned(),
             ExecutionBackend::Parallel { workers } => format!("parallel({workers})"),
+            ExecutionBackend::Durable { group_commit, .. } => {
+                format!("durable(gc={group_commit})")
+            }
         }
+    }
+
+    /// `true` for the durable (write-ahead-logged) backend.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, ExecutionBackend::Durable { .. })
     }
 }
 
@@ -153,20 +177,24 @@ impl Runtime {
     }
 
     /// The configured execution backend.
-    pub fn backend(&self) -> ExecutionBackend {
-        self.backend
+    pub fn backend(&self) -> &ExecutionBackend {
+        &self.backend
     }
 
-    fn dispatch(&self, workload: &WorkloadSpec, scheduler: Box<dyn Scheduler>) -> RunResult {
+    fn dispatch(
+        &self,
+        workload: &WorkloadSpec,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<RunResult, RuntimeError> {
         let scheduler = self.wrapper.apply(scheduler);
-        match self.backend {
+        match &self.backend {
             ExecutionBackend::Simulated => {
                 let mut scheduler = scheduler;
-                execute(workload, scheduler.as_mut(), &self.params)
+                Ok(execute(workload, scheduler.as_mut(), &self.params))
             }
             ExecutionBackend::Parallel { workers } => {
-                let defaults = ParParams::from_exec(&self.params, workers);
-                obase_par::execute_parallel(
+                let defaults = ParParams::from_exec(&self.params, *workers);
+                Ok(obase_par::execute_parallel(
                     workload,
                     scheduler,
                     &ParParams {
@@ -174,7 +202,18 @@ impl Runtime {
                         deadline: self.deadline.unwrap_or(defaults.deadline),
                         ..defaults
                     },
+                ))
+            }
+            ExecutionBackend::Durable { dir, group_commit } => {
+                let mut scheduler = scheduler;
+                obase_wal::execute_durable(
+                    workload,
+                    scheduler.as_mut(),
+                    &self.params,
+                    dir,
+                    *group_commit,
                 )
+                .map_err(|e| RuntimeError::Durability(e.to_string()))
             }
         }
     }
@@ -188,7 +227,7 @@ impl Runtime {
     pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
         validate_workload(workload)?;
         let scheduler = self.registry.instantiate(&self.spec)?;
-        let result = self.dispatch(workload, scheduler);
+        let result = self.dispatch(workload, scheduler)?;
         Ok(RunReport::new(self.spec.clone(), result, self.verify))
     }
 
@@ -203,7 +242,7 @@ impl Runtime {
         let mut reports = Vec::with_capacity(specs.len());
         for spec in specs {
             let scheduler = self.registry.instantiate(spec)?;
-            let result = self.dispatch(workload, scheduler);
+            let result = self.dispatch(workload, scheduler)?;
             reports.push(RunReport::new(spec.clone(), result, self.verify));
         }
         Ok(Faceoff::new(reports))
@@ -525,6 +564,34 @@ mod tests {
         let report = runtime.run(&tiny_workload()).unwrap();
         assert_eq!(report.metrics.committed, 1);
         report.assert_serialisable();
+    }
+
+    #[test]
+    fn durable_backend_runs_and_recovers() {
+        let dir = obase_wal::scratch_dir("runtime-durable");
+        let workload = tiny_workload();
+        let runtime = Runtime::builder()
+            .scheduler(SchedulerSpec::n2pl_operation())
+            .backend(ExecutionBackend::Durable {
+                dir: dir.clone(),
+                group_commit: 4,
+            })
+            .verify(Verify::Full)
+            .build()
+            .unwrap();
+        assert!(runtime.backend().is_durable());
+        assert_eq!(runtime.backend().label(), "durable(gc=4)");
+        let report = runtime.run(&workload).unwrap();
+        assert_eq!(report.metrics.committed, 1);
+        report.assert_serialisable();
+
+        let recovered = obase_wal::WalBackend::new(Arc::clone(workload.def.base()))
+            .recover(&dir)
+            .unwrap();
+        recovered.assert_serialisable();
+        assert_eq!(recovered.committed.len(), 1);
+        assert_eq!(recovered.crash_rollbacks(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod spec;
 pub use faults::FaultInjector;
 pub use library::{by_name, library, names};
 pub use spec::{
-    AdtKind, ClientClass, FaultPlan, KeyDist, NestingShape, ObjectGroup, Scenario, ScenarioError,
-    Storm,
+    AdtKind, ClientClass, CrashPlan, FaultPlan, KeyDist, NestingShape, ObjectGroup, Scenario,
+    ScenarioError, Storm,
 };
 
 use obase_runtime::{
@@ -158,6 +158,26 @@ mod tests {
             "doom injection left no trace: {:?}",
             report.metrics.aborts_by_reason
         );
+    }
+
+    #[test]
+    fn crash_plans_round_trip_and_validate() {
+        let mut s = by_name("hot-queue").unwrap();
+        s.faults.crash = Some(CrashPlan {
+            fraction: 0.7,
+            corrupt: true,
+        });
+        s.validate().unwrap();
+        // A crash alone is not a scheduler-level fault: the run itself is
+        // undecorated, the cut happens to the log afterwards.
+        assert!(s.faults.is_noop());
+        let back = Scenario::parse(&s.to_json_string()).unwrap();
+        assert_eq!(s, back, "crash plan lost in the JSON round trip");
+        s.faults.crash = Some(CrashPlan {
+            fraction: 1.5,
+            corrupt: false,
+        });
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
     }
 
     #[test]

@@ -199,6 +199,25 @@ pub struct Storm {
     pub rate: f64,
 }
 
+/// A crash point for durable (write-ahead-logged) runs: the machine dies
+/// mid-run, modelled by cutting the log the run wrote at a fraction of its
+/// final length before handing it to recovery. The cut lands wherever it
+/// lands — usually mid-record — so recovery's torn-tail handling is always
+/// on trial, and `corrupt` additionally flips one byte just before the cut
+/// (a bad sector under the torn tail).
+///
+/// Unlike the scheduler-level faults, a crash is applied *after* the run by
+/// whoever drives it (tests, the bench harness, CI smoke) using the
+/// `obase-wal` crash helpers; the plan only records where to cut.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashPlan {
+    /// Where to cut the log, as a fraction of its final byte length in
+    /// `[0, 1]` (0 loses everything, 1 crashes after the final write).
+    pub fraction: f64,
+    /// Also corrupt one byte just before the cut.
+    pub corrupt: bool,
+}
+
 /// The seeded chaos a scenario injects while it runs, by decorating the
 /// scheduler (see [`FaultInjector`](crate::FaultInjector)). All probabilities
 /// draw from one RNG seeded by the scenario, so on the simulated backend the
@@ -218,10 +237,15 @@ pub struct FaultPlan {
     /// Wall-clock deadline pressure for the parallel backend, in
     /// milliseconds (the simulator's round bound is untouched).
     pub deadline_ms: Option<u64>,
+    /// A post-run crash point for durable runs (ignored by the in-memory
+    /// backends, which have nothing to lose).
+    pub crash: Option<CrashPlan>,
 }
 
 impl FaultPlan {
-    /// `true` if the plan injects nothing (the scheduler is run bare).
+    /// `true` if the plan injects nothing *into the scheduler* (it is run
+    /// bare). A [`crash`](FaultPlan::crash) alone leaves this true: crashes
+    /// happen to the log file after the run, not to scheduling decisions.
     pub fn is_noop(&self) -> bool {
         self.doom_rate <= 0.0 && self.storm.is_none() && self.stall_rate <= 0.0
     }
@@ -290,6 +314,11 @@ impl Scenario {
         if let Some(s) = &self.faults.storm {
             if s.from > i64::MAX as u64 || s.until > i64::MAX as u64 {
                 return bad("storm gates must fit in an i64 (the JSON integer range)".into());
+            }
+        }
+        if let Some(c) = &self.faults.crash {
+            if !(0.0..=1.0).contains(&c.fraction) {
+                return bad("crash fraction out of [0, 1]".into());
             }
         }
         if self.clients == 0 {
@@ -440,6 +469,19 @@ impl Scenario {
                             .map(|ms| Json::Int(ms as i64))
                             .unwrap_or(Json::Null),
                     ),
+                    (
+                        "crash",
+                        self.faults
+                            .crash
+                            .as_ref()
+                            .map(|c| {
+                                Json::object([
+                                    ("fraction", Json::Float(c.fraction)),
+                                    ("corrupt", Json::Bool(c.corrupt)),
+                                ])
+                            })
+                            .unwrap_or(Json::Null),
+                    ),
                 ]),
             ),
             (
@@ -569,6 +611,13 @@ impl Scenario {
                             .and_then(|i| u64::try_from(i).ok())
                             .ok_or_else(|| bad("deadline_ms must be a non-negative int".into()))?,
                     ),
+                },
+                crash: match f.get("crash") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(CrashPlan {
+                        fraction: float_field(c, "fraction")?,
+                        corrupt: c.get("corrupt").and_then(Json::as_bool).unwrap_or(false),
+                    }),
                 },
             },
         };

@@ -1,0 +1,106 @@
+//! Crash-fault helpers for the kill-at-any-point tests.
+//!
+//! A crash is not a scheduler-level fault (those live in the scenario
+//! engine's fault injector): it is a *file-level* event that happens after
+//! the process died, so it is modelled as a post-run mutation of the log —
+//! truncate it at an arbitrary byte (the kernel got some prefix of our
+//! writes onto disk) or flip a byte (a torn sector). The scenario DSL's
+//! `CrashPlan` picks the cut point as a seeded fraction of the log; these
+//! helpers apply it.
+
+use crate::log::log_path;
+use std::fs::OpenOptions;
+use std::io;
+use std::path::Path;
+
+/// Length of the log file in `dir`.
+pub fn log_len(dir: &Path) -> io::Result<u64> {
+    Ok(std::fs::metadata(log_path(dir))?.len())
+}
+
+/// Truncates the log in `dir` to `len` bytes, as if the process had died
+/// with only that prefix durable. Returns the resulting length.
+pub fn truncate_log(dir: &Path, len: u64) -> io::Result<u64> {
+    let path = log_path(dir);
+    let file = OpenOptions::new().write(true).open(&path)?;
+    let actual = file.metadata()?.len().min(len);
+    file.set_len(actual)?;
+    Ok(actual)
+}
+
+/// Truncates the log in `dir` to `fraction` (clamped to `[0, 1]`) of its
+/// length — the scenario `CrashPlan`'s cut rule. Returns the cut offset.
+pub fn truncate_log_fraction(dir: &Path, fraction: f64) -> io::Result<u64> {
+    let len = log_len(dir)?;
+    let cut = ((len as f64) * fraction.clamp(0.0, 1.0)).floor() as u64;
+    truncate_log(dir, cut)
+}
+
+/// Flips one byte of the log in `dir` at `offset` (clamped into the file) —
+/// a torn-sector corruption. Recovery must stop at, not replay through, the
+/// damaged frame. Returns the offset actually flipped, or `None` for an
+/// empty log.
+pub fn corrupt_log_byte(dir: &Path, offset: u64) -> io::Result<Option<u64>> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let path = log_path(dir);
+    let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(None);
+    }
+    let at = offset.min(len - 1);
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(at))?;
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0xff;
+    file.seek(SeekFrom::Start(at))?;
+    file.write_all(&byte)?;
+    Ok(Some(at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WalRecord;
+    use crate::log::{log_path, scan, WalWriter};
+    use obase_core::ids::ExecId;
+
+    fn write_sample(dir: &Path) {
+        let mut w = WalWriter::create(&log_path(dir), 1).unwrap();
+        for i in 0..4u32 {
+            w.append(&WalRecord::BeginTop {
+                exec: ExecId(i),
+                name: format!("T{i}"),
+            })
+            .unwrap();
+            w.append(&WalRecord::CommitTop { exec: ExecId(i) }).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_helpers_cut_where_asked() {
+        let dir = crate::scratch_dir("crash-cut");
+        write_sample(&dir);
+        let full = log_len(&dir).unwrap();
+        assert_eq!(truncate_log(&dir, full + 100).unwrap(), full);
+        assert_eq!(truncate_log_fraction(&dir, 0.5).unwrap(), full / 2);
+        assert_eq!(log_len(&dir).unwrap(), full / 2);
+        assert_eq!(truncate_log_fraction(&dir, 0.0).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_by_scan() {
+        let dir = crate::scratch_dir("crash-flip");
+        write_sample(&dir);
+        let intact = scan(&log_path(&dir)).unwrap();
+        assert!(!intact.torn);
+        let mid = log_len(&dir).unwrap() / 2;
+        assert!(corrupt_log_byte(&dir, mid).unwrap().is_some());
+        let damaged = scan(&log_path(&dir)).unwrap();
+        assert!(damaged.torn, "flip at {mid} went unnoticed");
+        assert!(damaged.records.len() < intact.records.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

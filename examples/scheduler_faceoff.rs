@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let report = Runtime::builder()
             .scheduler(SchedulerSpec::n2pl_operation())
-            .backend(backend)
+            .backend(backend.clone())
             .clients(6)
             .seed(23)
             .verify(Verify::Full)

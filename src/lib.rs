@@ -26,6 +26,9 @@
 //! * [`par`] — the multi-threaded wall-clock backend (worker pool, sharded
 //!   object store, real blocking), selected with
 //!   [`ExecutionBackend::Parallel`];
+//! * [`wal`] — the durable write-ahead-logged backend (append-only checksummed
+//!   log, group commit, crash recovery held to the same oracle), selected
+//!   with [`ExecutionBackend::Durable`];
 //! * [`workload`] — seeded workload generators;
 //! * [`scenario`] — the declarative scenario engine: a JSON workload DSL
 //!   (client mixes, key distributions, nesting shapes over every ADT) plus
@@ -87,6 +90,7 @@ pub use obase_par as par;
 pub use obase_runtime as runtime;
 pub use obase_scenario as scenario;
 pub use obase_tso as tso;
+pub use obase_wal as wal;
 pub use obase_workload as workload;
 
 #[doc(inline)]

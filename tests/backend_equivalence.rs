@@ -9,7 +9,10 @@
 //! the multi-threaded backend with seeded workloads under every built-in
 //! scheduler spec and holds each run to that oracle, and additionally
 //! asserts that strict schedulers never cascade-abort (their locks are
-//! released only after undo completes).
+//! released only after undo completes). The durable (write-ahead-logged)
+//! backend goes through the same gate, plus one stronger demand: the log a
+//! run leaves behind must recover to the *exact* history the run reported
+//! (crash-point recovery is exercised separately in `tests/durability.rs`).
 
 use obase::prelude::*;
 use obase::workload as wl;
@@ -103,6 +106,70 @@ fn hundred_seed_oracle_over_all_builtin_specs() {
         }
     }
     assert_eq!(runs, workers.len() * 100 * specs.len());
+}
+
+/// The durable backend through the same gate: every seed × spec cell runs
+/// write-ahead-logged (group commit 8), every history passes the full
+/// oracle, and the log each run leaves behind recovers — crash-free — to a
+/// history that is *structurally identical* to the one the run reported
+/// (recovery is exact replay, not approximation).
+#[test]
+fn hundred_seed_oracle_over_the_durable_backend() {
+    let mut specs = SchedulerSpec::all_basic();
+    specs.push(SchedulerSpec::mixed_with_default(SchedulerSpec::n2pl_step()));
+    let mut runs = 0usize;
+    for seed in 0..100u64 {
+        let workload = workload_for(seed);
+        for spec in &specs {
+            let dir = obase::wal::scratch_dir("equiv-durable");
+            let report = Runtime::builder()
+                .scheduler(spec.clone())
+                .backend(ExecutionBackend::Durable {
+                    dir: dir.clone(),
+                    group_commit: 8,
+                })
+                .seed(seed)
+                .retries(64)
+                .verify(Verify::Full)
+                .build()
+                .expect("valid durable configuration")
+                .run(&workload)
+                .expect("well-formed generated workload");
+            assert!(
+                !report.metrics.timed_out,
+                "{} deadlined on seed {seed} (durable)",
+                report.scheduler
+            );
+            report.assert_serialisable();
+            if is_strict(spec) {
+                assert_eq!(
+                    report.metrics.cascading_aborts, 0,
+                    "strict scheduler {} cascaded on seed {seed} (durable)",
+                    report.scheduler
+                );
+            }
+            let recovered = obase::wal::WalBackend::new(workload.def.base().clone())
+                .recover(&dir)
+                .expect("a crash-free log recovers");
+            assert!(!recovered.torn, "clean log scanned as torn (seed {seed})");
+            assert!(
+                obase::core::record::same_structure(&recovered.raw_history, &report.raw_history),
+                "{} seed {seed}: recovery did not reproduce the run's history",
+                report.scheduler
+            );
+            recovered.assert_serialisable();
+            assert_eq!(
+                recovered.committed.len(),
+                report.metrics.committed,
+                "{} seed {seed}: recovery changed the committed set",
+                report.scheduler
+            );
+            assert_eq!(recovered.crash_rollbacks(), 0);
+            std::fs::remove_dir_all(&dir).ok();
+            runs += 1;
+        }
+    }
+    assert_eq!(runs, 100 * specs.len());
 }
 
 /// Mixed per-object compositions (Section 2's vision): uniform defaults,

@@ -76,7 +76,7 @@ fn equivalence_oracle_over_the_scenario_library() {
             );
             for backend in backends {
                 let report = s
-                    .run(spec, backend)
+                    .run(spec, backend.clone())
                     .unwrap_or_else(|e| panic!("{} failed to run: {e}", s.name));
                 assert!(
                     !report.metrics.timed_out,
