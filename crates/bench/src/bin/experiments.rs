@@ -36,6 +36,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut assert_scaling = false;
     let mut assert_durability = false;
+    let mut assert_overhead = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -56,6 +57,9 @@ fn main() {
             // group-commit window of 8 recovering less than 3× the
             // throughput of fsync-per-record.
             "--assert-durability" => assert_durability = true,
+            // Observability guard: fail the process if the e12 sweep shows
+            // the NullObserver plan below 97% of the no-observer baseline.
+            "--assert-overhead" => assert_overhead = true,
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -117,6 +121,11 @@ fn main() {
             "E11 — durability: throughput vs group-commit window of the WAL backend",
             Box::new(xp::e11_durability),
         ),
+        (
+            "e12",
+            "E12 — observability overhead: observation plans vs the no-observer baseline",
+            Box::new(xp::e12_observer_overhead),
+        ),
     ];
 
     let mut results: Vec<(&str, &str, Vec<xp::Row>)> = Vec::new();
@@ -153,6 +162,20 @@ fn main() {
             Ok(()) => eprintln!("durability guard: ok (group commit 8 ≥ 3× fsync-per-record)"),
             Err(msg) => {
                 eprintln!("durability guard FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if assert_overhead {
+        let e12 = results
+            .iter()
+            .find(|(key, _, _)| *key == "e12")
+            .map(|(_, _, rows)| rows.as_slice())
+            .expect("--assert-overhead requires the e12 experiment to run");
+        match xp::check_observer_guard(e12) {
+            Ok(()) => eprintln!("observer guard: ok (NullObserver ≥ 97% of no-observer baseline)"),
+            Err(msg) => {
+                eprintln!("observer guard FAILED: {msg}");
                 std::process::exit(1);
             }
         }

@@ -13,17 +13,25 @@
 //! cargo run -p obase-bench --release --bin scenarios -- --backend par --workers 8
 //! cargo run -p obase-bench --release --bin scenarios -- --backend wal --wal-dir /tmp/wals
 //! cargo run -p obase-bench --release --bin scenarios -- --backend all  # sim + par + wal
-//! cargo run -p obase-bench --release --bin scenarios -- --list          # print scenario names
+//! cargo run -p obase-bench --release --bin scenarios -- --list          # names + intents
 //! cargo run -p obase-bench --release --bin scenarios -- --out results.json
+//! cargo run -p obase-bench --release --bin scenarios -- hot-queue --trace-out trace.json
 //! ```
 //!
 //! Markdown tables go to stdout; every run is held to the full theory
-//! oracle, so the binary doubles as a chaos smoke test.
+//! oracle, so the binary doubles as a chaos smoke test. `--trace-out FILE`
+//! additionally re-runs the first selected scenario's first spec on the
+//! parallel backend with full lifecycle tracing and writes a
+//! `chrome://tracing` / Perfetto trace-event JSON file (one lane per worker
+//! plus the control-plane lane — load it at <https://ui.perfetto.dev>),
+//! printing the run's latency profile to stderr.
 
 use obase_bench as xp;
+use obase_runtime::{ChromeTraceObserver, ExecutionBackend, Observe};
 use obase_scenario::Scenario;
 use obase_ser::Json;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +42,7 @@ fn main() {
     let mut files: Vec<String> = Vec::new();
     let mut selected: Vec<String> = Vec::new();
     let mut list = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,13 +56,17 @@ fn main() {
                     .expect("--workers takes a positive integer");
             }
             "--wal-dir" => wal_dir = Some(it.next().expect("--wal-dir takes a path")),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out takes a path")),
             "--list" => list = true,
             other => selected.push(other.to_owned()),
         }
     }
     if list {
-        for name in obase_scenario::names() {
-            println!("{name}");
+        let names = obase_scenario::names();
+        let width = names.iter().map(String::len).max().unwrap_or(0);
+        for name in names {
+            let intent = obase_scenario::intent(&name).unwrap_or("");
+            println!("{name:width$}  {intent}");
         }
         return;
     }
@@ -97,6 +110,34 @@ fn main() {
     for scenario in &scenarios {
         eprintln!("running scenario {}...", scenario.name);
         rows.extend(xp::scenario_rows(scenario, &choice));
+    }
+
+    // A traced run on top of the sweep: the first scenario's first spec on
+    // the parallel backend, streamed into a Perfetto trace-event file.
+    if let Some(path) = &trace_out {
+        let scenario = scenarios.first().expect("at least one scenario resolved");
+        let spec = scenario.specs.first().expect("scenarios carry specs");
+        eprintln!(
+            "tracing scenario {} / {} on parallel({workers})...",
+            scenario.name,
+            spec.label()
+        );
+        let tracer = Arc::new(ChromeTraceObserver::new());
+        let report = scenario
+            .run_observed(
+                spec,
+                ExecutionBackend::Parallel { workers },
+                Observe::Trace(tracer.clone()),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        report.assert_serialisable();
+        tracer
+            .write_trace(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot write trace file {path}: {e}"));
+        if let Some(latency) = report.latency() {
+            eprint!("{}", latency.render_table());
+        }
+        eprintln!("wrote {path} (load it at https://ui.perfetto.dev)");
     }
     let title = format!(
         "Scenario sweep — {} scenarios × their scheduler line-ups, per backend",

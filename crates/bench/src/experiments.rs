@@ -1,10 +1,14 @@
 //! Experiment implementations (see DESIGN.md §5 for the index).
 
 use obase_exec::{RunMetrics, WorkloadSpec};
-use obase_runtime::{ExecutionBackend, Runtime, SchedulerSpec, Verify};
+use obase_runtime::{
+    ChromeTraceObserver, ExecutionBackend, NullObserver, Observe, RunReport, Runtime,
+    SchedulerSpec, Verify,
+};
 use obase_ser::Json;
 use obase_workload as wl;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One row of an experiment table: a label plus named numeric columns, and
 /// optionally named histograms (nested key → count maps, e.g. abort counts
@@ -177,6 +181,22 @@ fn abort_reasons(m: &RunMetrics) -> impl IntoIterator<Item = (String, f64)> + '_
     m.aborts_by_reason
         .iter()
         .map(|(reason, n)| (reason.clone(), *n as f64))
+}
+
+/// Appends the end-to-end latency percentile columns (`latency_us_p50`,
+/// `latency_us_p99`, `latency_us_p999`) to a row, when the run carried a
+/// latency report (i.e. was observed). Rows of unobserved runs pass through
+/// unchanged.
+pub fn with_latency_columns(row: Row, report: &RunReport) -> Row {
+    match report.latency() {
+        Some(latency) => {
+            let e2e = latency.e2e();
+            row.with("latency_us_p50", e2e.percentile(0.50) as f64)
+                .with("latency_us_p99", e2e.percentile(0.99) as f64)
+                .with("latency_us_p999", e2e.percentile(0.999) as f64)
+        }
+        None => row,
+    }
 }
 
 fn metrics_row(label: &str, m: &RunMetrics) -> Row {
@@ -504,6 +524,7 @@ pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
                 .seed(1009)
                 .retries(64)
                 .verify(Verify::Quick)
+                .observe(Observe::Latency)
                 .build()
                 .expect("valid experiment configuration")
                 .run(&workload)
@@ -515,15 +536,14 @@ pub fn e9_backend_faceoff(scale: usize) -> Vec<Row> {
                 backend.label()
             );
             let m = &report.metrics;
-            rows.push(
-                Row::new(format!("{} / {}", m.scheduler, backend.label()))
-                    .with("committed", m.committed as f64)
-                    .with("aborts", m.aborts as f64)
-                    .with("abort_rate", m.abort_ratio())
-                    .with("wall_ms", m.wall_micros as f64 / 1000.0)
-                    .with("txn_per_sec", m.wall_throughput())
-                    .with_histogram("aborts_by_reason", abort_reasons(m)),
-            );
+            let row = Row::new(format!("{} / {}", m.scheduler, backend.label()))
+                .with("committed", m.committed as f64)
+                .with("aborts", m.aborts as f64)
+                .with("abort_rate", m.abort_ratio())
+                .with("wall_ms", m.wall_micros as f64 / 1000.0)
+                .with("txn_per_sec", m.wall_throughput())
+                .with_histogram("aborts_by_reason", abort_reasons(m));
+            rows.push(with_latency_columns(row, &report));
         }
     }
     rows
@@ -639,9 +659,9 @@ pub fn e11_durability(scale: usize) -> Vec<Row> {
         seed: 1011,
     });
     let windows = [0usize, 1, 8, 64, 256];
-    let mut points: Vec<(usize, RunMetrics)> = Vec::new();
+    let mut points: Vec<(usize, RunReport)> = Vec::new();
     for &gc in &windows {
-        let mut best: Option<RunMetrics> = None;
+        let mut best: Option<RunReport> = None;
         for attempt in 0..3 {
             let dir = obase_wal::scratch_dir(&format!("e11-gc{gc}-{attempt}"));
             let report = Runtime::builder()
@@ -654,6 +674,7 @@ pub fn e11_durability(scale: usize) -> Vec<Row> {
                 .seed(1011)
                 .retries(64)
                 .verify(Verify::Quick)
+                .observe(Observe::Latency)
                 .build()
                 .expect("valid experiment configuration")
                 .run(&workload)
@@ -672,9 +693,9 @@ pub fn e11_durability(scale: usize) -> Vec<Row> {
             std::fs::remove_dir_all(&dir).ok();
             let better = best
                 .as_ref()
-                .is_none_or(|b| report.metrics.wall_throughput() > b.wall_throughput());
+                .is_none_or(|b| report.metrics.wall_throughput() > b.metrics.wall_throughput());
             if better {
-                best = Some(report.metrics);
+                best = Some(report);
             }
         }
         points.push((gc, best.expect("three runs happened")));
@@ -682,17 +703,18 @@ pub fn e11_durability(scale: usize) -> Vec<Row> {
     let per_record = points
         .iter()
         .find(|(gc, _)| *gc == 1)
-        .map(|(_, m)| m.wall_throughput())
+        .map(|(_, r)| r.metrics.wall_throughput())
         .unwrap_or(0.0);
     points
         .into_iter()
-        .map(|(gc, m)| {
+        .map(|(gc, report)| {
+            let m = &report.metrics;
             let label = if gc == 0 {
                 "no-fsync baseline (gc=0)".to_owned()
             } else {
                 format!("group commit {gc}")
             };
-            Row::new(label)
+            let row = Row::new(label)
                 .with("group_commit", gc as f64)
                 .with("committed", m.committed as f64)
                 .with("aborts", m.aborts as f64)
@@ -706,7 +728,8 @@ pub fn e11_durability(scale: usize) -> Vec<Row> {
                         0.0
                     },
                 )
-                .with_histogram("aborts_by_reason", abort_reasons(&m))
+                .with_histogram("aborts_by_reason", abort_reasons(m));
+            with_latency_columns(row, &report)
         })
         .collect()
 }
@@ -754,6 +777,106 @@ pub fn check_scaling_guard(rows: &[Row]) -> Result<(), String> {
             "8-worker wall-throughput regressed below the 1-worker point: \
              {eight:.0} < {TOLERANCE} × {one:.0} txn/s — thundering-herd or \
              control-plane contention reintroduced"
+        ));
+    }
+    Ok(())
+}
+
+/// E12 — observability overhead: one workload on the simulated backend under
+/// each observation plan. The `NullObserver` plan collapses the handle at
+/// startup, so it runs the same code as the no-observer baseline — the guard
+/// below holds it to within 3%. The recording plans (`Latency`, `Trace`) pay
+/// for real event buffering and are reported honestly, not gated.
+///
+/// Each point is the best of five runs (the guard compares wall-clock
+/// measurements, so noise must be squeezed out before a 3% band means
+/// anything).
+pub fn e12_observer_overhead(scale: usize) -> Vec<Row> {
+    let workload = wl::scaling(&wl::ScalingParams {
+        objects: 32,
+        transactions: 96 * scale,
+        invokes_per_txn: 4,
+        ops_per_invoke: 6,
+        read_fraction: 0.3,
+        skew: 0.4,
+        seed: 1012,
+    });
+    let plans: Vec<(&str, Observe)> = vec![
+        ("no-observer baseline", Observe::Off),
+        (
+            "null observer (collapsed handle)",
+            Observe::Custom(Arc::new(NullObserver)),
+        ),
+        ("latency recording", Observe::Latency),
+        (
+            "chrome trace recording",
+            Observe::Trace(Arc::new(ChromeTraceObserver::new())),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for (label, plan) in plans {
+        let mut best: Option<RunReport> = None;
+        for _ in 0..5 {
+            let report = Runtime::builder()
+                .scheduler(SchedulerSpec::n2pl_operation())
+                .clients(8)
+                .seed(1012)
+                .retries(64)
+                .verify(Verify::None)
+                .observe(plan.clone())
+                .build()
+                .expect("valid experiment configuration")
+                .run(&workload)
+                .expect("well-formed generated workload");
+            let better = best
+                .as_ref()
+                .is_none_or(|b| report.metrics.wall_throughput() > b.metrics.wall_throughput());
+            if better {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("five runs happened");
+        let m = &report.metrics;
+        let tps = m.wall_throughput();
+        if baseline == 0.0 {
+            baseline = tps; // first plan is the Off baseline
+        }
+        let overhead_pct = if baseline > 0.0 {
+            (1.0 - tps / baseline) * 100.0
+        } else {
+            0.0
+        };
+        let row = Row::new(label)
+            .with("committed", m.committed as f64)
+            .with("wall_ms", m.wall_micros as f64 / 1000.0)
+            .with("txn_per_sec", tps)
+            .with("overhead_pct", overhead_pct);
+        rows.push(with_latency_columns(row, &report));
+    }
+    rows
+}
+
+/// The observability zero-cost guard over [`e12_observer_overhead`] rows:
+/// the `NullObserver` plan must recover at least 97% of the no-observer
+/// baseline's throughput. The two run identical code after one startup
+/// branch (the handle collapses), so a real gap means the collapse broke and
+/// every engine is paying for observation nobody asked for.
+pub fn check_observer_guard(rows: &[Row]) -> Result<(), String> {
+    const FLOOR: f64 = 0.97;
+    let tps = |label: &str| {
+        rows.iter()
+            .find(|r| r.label.starts_with(label))
+            .and_then(|r| r.values.get("txn_per_sec").copied())
+            .ok_or_else(|| format!("e12 rows missing the {label:?} point"))
+    };
+    let baseline = tps("no-observer baseline")?;
+    let null = tps("null observer")?;
+    if null < baseline * FLOOR {
+        return Err(format!(
+            "NullObserver throughput {null:.0} txn/s fell below {FLOOR} × the \
+             no-observer baseline {baseline:.0} txn/s — the disabled-observer \
+             handle no longer collapses to the free path"
         ));
     }
     Ok(())
@@ -837,6 +960,25 @@ mod tests {
         ];
         assert!(check_scaling_guard(&rows).is_err());
         assert!(check_scaling_guard(&[]).is_err());
+    }
+
+    #[test]
+    fn observer_guard_reads_e12_rows() {
+        let rows = vec![
+            Row::new("no-observer baseline")
+                .with("txn_per_sec", 1000.0)
+                .with("overhead_pct", 0.0),
+            Row::new("null observer (collapsed handle)")
+                .with("txn_per_sec", 990.0)
+                .with("overhead_pct", 1.0),
+        ];
+        assert!(check_observer_guard(&rows).is_ok());
+        let rows = vec![
+            Row::new("no-observer baseline").with("txn_per_sec", 1000.0),
+            Row::new("null observer (collapsed handle)").with("txn_per_sec", 900.0),
+        ];
+        assert!(check_observer_guard(&rows).is_err());
+        assert!(check_observer_guard(&[]).is_err());
     }
 
     #[test]

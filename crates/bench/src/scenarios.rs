@@ -114,30 +114,29 @@ pub fn scenario_rows(scenario: &Scenario, choice: &BackendChoice) -> Vec<Row> {
             );
             report.assert_serialisable();
             let m = &report.metrics;
-            rows.push(
-                Row::new(format!(
-                    "{} / {} / {}",
-                    scenario.name,
-                    spec.label(),
-                    backend.label()
-                ))
-                .with("committed", m.committed as f64)
-                .with("aborts", m.aborts as f64)
-                .with("abort_rate", m.abort_ratio())
-                .with("gave_up", m.gave_up as f64)
-                .with("blocked", m.blocked_events as f64)
-                .with("retries", m.retries as f64)
-                .with("wall_ms", m.wall_micros as f64 / 1000.0)
-                .with("throughput", m.throughput())
-                .with("wall_throughput", m.wall_throughput())
-                .with("durable", if backend.is_durable() { 1.0 } else { 0.0 })
-                .with_histogram(
-                    "aborts_by_reason",
-                    m.aborts_by_reason
-                        .iter()
-                        .map(|(reason, n)| (reason.clone(), *n as f64)),
-                ),
+            let row = Row::new(format!(
+                "{} / {} / {}",
+                scenario.name,
+                spec.label(),
+                backend.label()
+            ))
+            .with("committed", m.committed as f64)
+            .with("aborts", m.aborts as f64)
+            .with("abort_rate", m.abort_ratio())
+            .with("gave_up", m.gave_up as f64)
+            .with("blocked", m.blocked_events as f64)
+            .with("retries", m.retries as f64)
+            .with("wall_ms", m.wall_micros as f64 / 1000.0)
+            .with("throughput", m.throughput())
+            .with("wall_throughput", m.wall_throughput())
+            .with("durable", if backend.is_durable() { 1.0 } else { 0.0 })
+            .with_histogram(
+                "aborts_by_reason",
+                m.aborts_by_reason
+                    .iter()
+                    .map(|(reason, n)| (reason.clone(), *n as f64)),
             );
+            rows.push(crate::experiments::with_latency_columns(row, &report));
         }
     }
     rows

@@ -38,12 +38,13 @@ use crate::program::{Expr, ObjRef, Program, WorkloadSpec};
 use crate::store::ObjectStore;
 use obase_core::builder::HistoryBuilder;
 use obase_core::graph::DiGraph;
-use obase_core::ids::{ExecId, StepId};
+use obase_core::ids::{ExecId, ObjectId, StepId};
 use obase_core::lifecycle::{resolve_abort, ExecutionDriver};
 use obase_core::op::{LocalStep, Operation};
 use obase_core::record::HistoryRecorder;
 use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
+use obase_obs::{ObsEvent, ObsHandle, ObsLane};
 use obase_rng::{ChaCha8Rng, SeedableRng, SliceRandom};
 use std::collections::BTreeSet;
 
@@ -100,6 +101,8 @@ struct Thread {
     blocked_on: Vec<ExecId>,
     last_value: Value,
     prev_step: Option<StepId>,
+    /// The object an open observability blocked-span waits on, if any.
+    obs_block: Option<ObjectId>,
 }
 
 /// Simulator-specific bookkeeping per execution, parallel to the kernel's
@@ -123,6 +126,8 @@ struct EngineState<R: HistoryRecorder> {
     threads: Vec<Thread>,
     running_clients: usize,
     rng: ChaCha8Rng,
+    olane: ObsLane,
+    first_granted: BTreeSet<ExecId>,
 }
 
 /// The simulator's side of the shared abort loop: single-threaded, so every
@@ -145,6 +150,23 @@ impl<R: HistoryRecorder> ExecutionDriver for SimDriver<'_, R> {
             self.st
                 .kernel
                 .mark_abort_subtree(&mut self.st.recorder, top, reason, cascade)?;
+        // Close any open blocked span of a torn-down waiter before the
+        // thread table forgets it.
+        if self.st.olane.is_on() {
+            let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
+            for tid in 0..self.st.threads.len() {
+                if subtree_set.contains(&self.st.threads[tid].exec) {
+                    if let Some(object) = self.st.threads[tid].obs_block.take() {
+                        let t = self.st.kernel.execs.top_of(self.st.threads[tid].exec);
+                        self.st.olane.emit(ObsEvent::BlockEnd {
+                            top: t,
+                            object,
+                            shard: 0,
+                        });
+                    }
+                }
+            }
+        }
         let subtree_set: BTreeSet<ExecId> = subtree.iter().copied().collect();
         for th in &mut self.st.threads {
             if subtree_set.contains(&th.exec) {
@@ -178,6 +200,17 @@ impl<R: HistoryRecorder> ExecutionDriver for SimDriver<'_, R> {
         if !release.was_committed {
             self.st.running_clients -= 1;
         }
+        if self.st.olane.is_on() {
+            self.st.olane.emit(ObsEvent::Abort { top });
+            if release.retried {
+                if let Some((spec, attempt)) = self.st.kernel.execs.record(top).spec {
+                    self.st.olane.emit(ObsEvent::Retry {
+                        spec,
+                        attempt: attempt + 1,
+                    });
+                }
+            }
+        }
         // Every victim resolves inline: committed ones have no thread of
         // control, and running ones were torn down in `mark_aborted`.
         release.victims.into_iter().map(|v| v.top).collect()
@@ -191,6 +224,7 @@ impl<R: HistoryRecorder> EngineState<R> {
         scheduler_name: String,
         backend_label: &str,
         recorder: R,
+        obs: &ObsHandle,
     ) -> Self {
         let base = std::sync::Arc::clone(workload.def.base());
         EngineState {
@@ -210,6 +244,46 @@ impl<R: HistoryRecorder> EngineState<R> {
             threads: Vec::new(),
             running_clients: 0,
             rng: ChaCha8Rng::seed_from_u64(config.seed),
+            olane: obs.lane("sim"),
+            first_granted: BTreeSet::new(),
+        }
+    }
+
+    /// Emits `FirstGrant` the first time any step of `exec`'s top-level
+    /// transaction is granted. Gated on the lane so the off path stays one
+    /// branch.
+    fn note_grant(&mut self, exec: ExecId) {
+        if self.olane.is_on() {
+            let top = self.kernel.execs.top_of(exec);
+            if self.first_granted.insert(top) {
+                self.olane.emit(ObsEvent::FirstGrant { top });
+            }
+        }
+    }
+
+    /// Opens an observability blocked-span for `tid` (idempotent while the
+    /// same instruction keeps re-blocking).
+    fn note_block(&mut self, tid: usize, object: ObjectId) {
+        if self.olane.is_on() && self.threads[tid].obs_block.is_none() {
+            self.threads[tid].obs_block = Some(object);
+            let top = self.kernel.execs.top_of(self.threads[tid].exec);
+            self.olane.emit(ObsEvent::BlockBegin {
+                top,
+                object,
+                shard: 0,
+            });
+        }
+    }
+
+    /// Closes `tid`'s open blocked-span, if any.
+    fn note_unblock(&mut self, tid: usize) {
+        if let Some(object) = self.threads[tid].obs_block.take() {
+            let top = self.kernel.execs.top_of(self.threads[tid].exec);
+            self.olane.emit(ObsEvent::BlockEnd {
+                top,
+                object,
+                shard: 0,
+            });
         }
     }
 
@@ -226,6 +300,13 @@ impl<R: HistoryRecorder> EngineState<R> {
             let top = self
                 .kernel
                 .admit_top(scheduler, &mut self.recorder, &spec.name, p);
+            if self.olane.is_on() {
+                self.olane.emit(ObsEvent::Admit {
+                    top,
+                    spec: p.spec,
+                    attempt: p.attempt,
+                });
+            }
             self.side.push(SideMeta::default());
             let body = spec.body.clone();
             self.threads.push(Thread {
@@ -239,6 +320,7 @@ impl<R: HistoryRecorder> EngineState<R> {
                 blocked_on: Vec::new(),
                 last_value: Value::Unit,
                 prev_step: None,
+                obs_block: None,
             });
             self.running_clients += 1;
         }
@@ -289,6 +371,7 @@ impl<R: HistoryRecorder> EngineState<R> {
                             blocked_on: Vec::new(),
                             last_value: Value::Unit,
                             prev_step: self.threads[tid].prev_step,
+                            obs_block: None,
                         });
                     }
                     self.threads[tid].state = ThreadState::WaitingPar(n);
@@ -350,6 +433,7 @@ impl<R: HistoryRecorder> EngineState<R> {
         match self.kernel.request_local(scheduler, exec, object, &op) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
+                self.note_block(tid, object);
                 return;
             }
             Decision::Abort(reason) => {
@@ -369,6 +453,7 @@ impl<R: HistoryRecorder> EngineState<R> {
         match self.kernel.validate_step(scheduler, exec, object, &step) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
+                self.note_block(tid, object);
                 return;
             }
             Decision::Abort(reason) => {
@@ -384,6 +469,12 @@ impl<R: HistoryRecorder> EngineState<R> {
         let sid = self
             .kernel
             .install_step(scheduler, &mut self.recorder, exec, object, step, prev);
+        if self.olane.is_on() {
+            self.note_unblock(tid);
+            self.note_grant(exec);
+            let top = self.kernel.execs.top_of(exec);
+            self.olane.emit(ObsEvent::Install { top, object });
+        }
         let th = &mut self.threads[tid];
         th.prev_step = Some(sid);
         th.last_value = ret;
@@ -410,6 +501,7 @@ impl<R: HistoryRecorder> EngineState<R> {
         match self.kernel.request_invoke(scheduler, exec, target, &method) {
             Decision::Block { waiting_for } => {
                 self.threads[tid].blocked_on = waiting_for;
+                self.note_block(tid, target);
                 return;
             }
             Decision::Abort(reason) => {
@@ -420,6 +512,10 @@ impl<R: HistoryRecorder> EngineState<R> {
             Decision::Grant => {}
         }
 
+        if self.olane.is_on() {
+            self.note_unblock(tid);
+            self.note_grant(exec);
+        }
         let mdef = self
             .def
             .method(target, &method)
@@ -451,6 +547,7 @@ impl<R: HistoryRecorder> EngineState<R> {
             blocked_on: Vec::new(),
             last_value: Value::Unit,
             prev_step: None,
+            obs_block: None,
         });
         let th = &mut self.threads[tid];
         th.state = ThreadState::WaitingChild(child);
@@ -499,9 +596,15 @@ impl<R: HistoryRecorder> EngineState<R> {
                 self.threads[rt].state = ThreadState::Ready;
             }
             None => {
+                if self.olane.is_on() {
+                    self.olane.emit(ObsEvent::CertifyBegin { top: exec });
+                }
                 if let Err(reason) = self.kernel.commit_top(scheduler, &mut self.recorder, exec) {
                     self.abort_top_level(scheduler, exec, reason);
                     return;
+                }
+                if self.olane.is_on() {
+                    self.olane.emit(ObsEvent::Commit { top: exec });
                 }
                 self.running_clients -= 1;
             }
@@ -546,9 +649,22 @@ pub fn execute(
     scheduler: &mut dyn Scheduler,
     config: &ExecParams,
 ) -> RunResult {
+    execute_observed(workload, scheduler, config, &ObsHandle::off())
+}
+
+/// [`execute`] with lifecycle observation: every admission, grant, blocked
+/// span, certification and settle is emitted through `obs` (on the `"sim"`
+/// lane, with submissions on `"control"`). With a disabled handle this *is*
+/// [`execute`] — the off path costs one branch per would-be event.
+pub fn execute_observed(
+    workload: &WorkloadSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &ExecParams,
+    obs: &ObsHandle,
+) -> RunResult {
     let mut builder = HistoryBuilder::new(std::sync::Arc::clone(workload.def.base()));
     builder.set_auto_program_order(false);
-    let (kernel, builder) = drive(workload, scheduler, config, "simulated", builder);
+    let (kernel, builder) = drive(workload, scheduler, config, "simulated", builder, obs);
     kernel.into_result(builder.build())
 }
 
@@ -569,9 +685,25 @@ pub fn drive<R: HistoryRecorder>(
     config: &ExecParams,
     backend_label: &str,
     recorder: R,
+    obs: &ObsHandle,
 ) -> (LifecycleKernel, R) {
     let started = std::time::Instant::now();
-    let mut st = EngineState::new(workload, config, scheduler.name(), backend_label, recorder);
+    if obs.is_on() {
+        // Every workload transaction's first attempt is submitted up front;
+        // retries re-submit through the abort path.
+        let mut control = obs.lane("control");
+        for spec in 0..workload.transactions.len() {
+            control.emit(ObsEvent::Submit { spec, attempt: 0 });
+        }
+    }
+    let mut st = EngineState::new(
+        workload,
+        config,
+        scheduler.name(),
+        backend_label,
+        recorder,
+        obs,
+    );
     while !st.settled() && st.kernel.metrics.rounds < config.max_rounds {
         st.kernel.metrics.rounds += 1;
         st.start_pending(scheduler);

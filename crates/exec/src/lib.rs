@@ -67,7 +67,7 @@ pub mod mixed;
 pub mod program;
 pub mod store;
 
-pub use engine::{drive, execute, ExecParams, RunResult};
+pub use engine::{drive, execute, execute_observed, ExecParams, RunResult};
 pub use kernel::LifecycleKernel;
 pub use metrics::RunMetrics;
 pub use mixed::MixedScheduler;

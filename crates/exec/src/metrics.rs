@@ -127,6 +127,8 @@ impl RunMetrics {
             ("timed_out", Json::Bool(self.timed_out)),
             ("throughput", Json::Float(self.throughput())),
             ("wall_throughput", Json::Float(self.wall_throughput())),
+            ("abort_ratio", Json::Float(self.abort_ratio())),
+            ("blocking_ratio", Json::Float(self.blocking_ratio())),
         ])
     }
 }
@@ -150,6 +152,10 @@ mod tests {
         assert!((m.abort_ratio() - 0.3).abs() < 1e-9);
         assert!((m.blocking_ratio() - 2.0).abs() < 1e-9);
         assert_eq!(m.aborts_by_reason["deadlock"], 2);
+        let json = m.to_json();
+        let ratio = |key| json.get(key).and_then(Json::as_float).unwrap();
+        assert!((ratio("abort_ratio") - 0.3).abs() < 1e-9);
+        assert!((ratio("blocking_ratio") - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! Phase-latency percentiles and blocked-time attribution, derived from a
+//! recorded event stream.
+//!
+//! [`LatencyReport::from_events`] replays the lane batches a
+//! [`RecordingObserver`](crate::trace::RecordingObserver) collected and
+//! produces one [`Histogram`] per lifecycle phase plus the blocked-time
+//! profile (hottest objects and scheduler shards by total blocked wall
+//! time). The phases are:
+//!
+//! * `queue_wait` — submit → admission, per attempt;
+//! * `blocked` — each blocked span (waiting for a scheduler grant);
+//! * `execute` — admission → certify-start, minus blocked time, per
+//!   certified top-level transaction;
+//! * `certify` — certify-start → commit settle;
+//! * `fsync` — each WAL fsync span (durable backend only);
+//! * `e2e` — submit of the committing attempt → commit settle.
+
+use crate::event::{ObsEvent, ObsStamped};
+use crate::histogram::Histogram;
+use obase_core::ids::{ExecId, ObjectId};
+use obase_ser::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Total blocked time and span count attributed to one key (an object or a
+/// scheduler shard).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockedTotal {
+    /// Total blocked wall time in microseconds.
+    pub blocked_micros: u64,
+    /// Number of blocked spans.
+    pub spans: u64,
+}
+
+/// Per-phase latency histograms plus the blocked-time attribution profile.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyReport {
+    phases: BTreeMap<String, Histogram>,
+    hot_objects: Vec<(ObjectId, BlockedTotal)>,
+    hot_shards: Vec<(usize, BlockedTotal)>,
+}
+
+/// The phase names [`LatencyReport::phase`] answers to, in report order.
+pub const PHASES: [&str; 6] = [
+    "queue_wait",
+    "blocked",
+    "execute",
+    "certify",
+    "fsync",
+    "e2e",
+];
+
+impl LatencyReport {
+    /// Derives the report from recorded lane batches (the shape
+    /// [`RecordingObserver::snapshot`](crate::trace::RecordingObserver::snapshot)
+    /// returns). Unclosed blocked spans are closed at the owning
+    /// transaction's settle time, or at the last recorded timestamp.
+    pub fn from_events(batches: &[(String, Vec<ObsStamped>)]) -> LatencyReport {
+        let mut all: Vec<ObsStamped> = batches
+            .iter()
+            .flat_map(|(_, events)| events.iter().copied())
+            .collect();
+        all.sort_by_key(|s| s.at_micros);
+        let run_end = all.last().map_or(0, |s| s.at_micros);
+
+        let mut submit: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+        let mut admit: BTreeMap<ExecId, (usize, u32, u64)> = BTreeMap::new();
+        let mut certify: BTreeMap<ExecId, u64> = BTreeMap::new();
+        let mut commit: BTreeMap<ExecId, u64> = BTreeMap::new();
+        let mut abort: BTreeMap<ExecId, u64> = BTreeMap::new();
+        // FIFO pairing of blocked spans per (top, object, shard); fsync
+        // spans pair in arrival order.
+        let mut open_blocks: BTreeMap<(ExecId, ObjectId, usize), Vec<u64>> = BTreeMap::new();
+        let mut spans: Vec<(ExecId, ObjectId, usize, u64, u64)> = Vec::new();
+        let mut open_fsync: Vec<u64> = Vec::new();
+        let mut fsync = Histogram::new();
+
+        for s in &all {
+            match s.event {
+                ObsEvent::Submit { spec, attempt } | ObsEvent::Retry { spec, attempt } => {
+                    submit.entry((spec, attempt)).or_insert(s.at_micros);
+                }
+                ObsEvent::Admit { top, spec, attempt } => {
+                    admit.entry(top).or_insert((spec, attempt, s.at_micros));
+                }
+                ObsEvent::CertifyBegin { top } => {
+                    certify.entry(top).or_insert(s.at_micros);
+                }
+                ObsEvent::Commit { top } => {
+                    commit.entry(top).or_insert(s.at_micros);
+                }
+                ObsEvent::Abort { top } => {
+                    abort.entry(top).or_insert(s.at_micros);
+                }
+                ObsEvent::BlockBegin { top, object, shard } => {
+                    open_blocks
+                        .entry((top, object, shard))
+                        .or_default()
+                        .push(s.at_micros);
+                }
+                ObsEvent::BlockEnd { top, object, shard } => {
+                    if let Some(opens) = open_blocks.get_mut(&(top, object, shard)) {
+                        if !opens.is_empty() {
+                            let begin = opens.remove(0);
+                            spans.push((top, object, shard, begin, s.at_micros));
+                        }
+                    }
+                }
+                ObsEvent::FsyncBegin => open_fsync.push(s.at_micros),
+                ObsEvent::FsyncEnd => {
+                    if !open_fsync.is_empty() {
+                        let begin = open_fsync.remove(0);
+                        fsync.record(s.at_micros.saturating_sub(begin));
+                    }
+                }
+                ObsEvent::FirstGrant { .. } | ObsEvent::Install { .. } | ObsEvent::Doom { .. } => {}
+            }
+        }
+        // Close dangling blocked spans at the owner's settle (an interrupted
+        // waiter may be torn down without a BlockEnd) or at the run's end.
+        for ((top, object, shard), opens) in open_blocks {
+            let close = commit
+                .get(&top)
+                .or_else(|| abort.get(&top))
+                .copied()
+                .unwrap_or(run_end);
+            for begin in opens {
+                spans.push((top, object, shard, begin, close.max(begin)));
+            }
+        }
+
+        let mut queue_wait = Histogram::new();
+        let mut blocked = Histogram::new();
+        let mut execute = Histogram::new();
+        let mut certify_h = Histogram::new();
+        let mut e2e = Histogram::new();
+        let mut blocked_by_top: BTreeMap<ExecId, u64> = BTreeMap::new();
+        let mut by_object: BTreeMap<ObjectId, BlockedTotal> = BTreeMap::new();
+        let mut by_shard: BTreeMap<usize, BlockedTotal> = BTreeMap::new();
+
+        for &(top, object, shard, begin, end) in &spans {
+            let dur = end - begin;
+            blocked.record(dur);
+            *blocked_by_top.entry(top).or_default() += dur;
+            let o = by_object.entry(object).or_default();
+            o.blocked_micros += dur;
+            o.spans += 1;
+            let sh = by_shard.entry(shard).or_default();
+            sh.blocked_micros += dur;
+            sh.spans += 1;
+        }
+        for (&top, &(spec, attempt, admit_at)) in &admit {
+            if let Some(&submit_at) = submit.get(&(spec, attempt)) {
+                queue_wait.record(admit_at.saturating_sub(submit_at));
+            } else {
+                queue_wait.record(0);
+            }
+            if let Some(&certify_at) = certify.get(&top) {
+                let waited = blocked_by_top.get(&top).copied().unwrap_or(0);
+                execute.record(certify_at.saturating_sub(admit_at).saturating_sub(waited));
+            }
+            if let Some(&commit_at) = commit.get(&top) {
+                if let Some(&certify_at) = certify.get(&top) {
+                    certify_h.record(commit_at.saturating_sub(certify_at));
+                }
+                let born = submit.get(&(spec, attempt)).copied().unwrap_or(admit_at);
+                e2e.record(commit_at.saturating_sub(born));
+            }
+        }
+
+        let mut hot_objects: Vec<(ObjectId, BlockedTotal)> = by_object.into_iter().collect();
+        hot_objects.sort_by(|a, b| {
+            b.1.blocked_micros
+                .cmp(&a.1.blocked_micros)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut hot_shards: Vec<(usize, BlockedTotal)> = by_shard.into_iter().collect();
+        hot_shards.sort_by(|a, b| {
+            b.1.blocked_micros
+                .cmp(&a.1.blocked_micros)
+                .then(a.0.cmp(&b.0))
+        });
+
+        let mut phases = BTreeMap::new();
+        for (name, h) in [
+            ("queue_wait", queue_wait),
+            ("blocked", blocked),
+            ("execute", execute),
+            ("certify", certify_h),
+            ("fsync", fsync),
+            ("e2e", e2e),
+        ] {
+            phases.insert(name.to_owned(), h);
+        }
+        LatencyReport {
+            phases,
+            hot_objects,
+            hot_shards,
+        }
+    }
+
+    /// The histogram of one phase (see [`PHASES`] for the names).
+    pub fn phase(&self, name: &str) -> Option<&Histogram> {
+        self.phases.get(name)
+    }
+
+    /// The end-to-end (submit → commit) histogram.
+    pub fn e2e(&self) -> &Histogram {
+        self.phases.get("e2e").expect("e2e phase always present")
+    }
+
+    /// Hottest objects by total blocked wall time, descending.
+    pub fn hot_objects(&self) -> &[(ObjectId, BlockedTotal)] {
+        &self.hot_objects
+    }
+
+    /// Hottest scheduler shards by total blocked wall time, descending.
+    pub fn hot_shards(&self) -> &[(usize, BlockedTotal)] {
+        &self.hot_shards
+    }
+
+    /// The text profile: one percentile row per phase, then the top-K
+    /// blocked-time attribution tables.
+    pub fn render_table(&self) -> String {
+        const TOP_K: usize = 8;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "phase (us)", "count", "p50", "p90", "p99", "p999", "max"
+        );
+        for name in PHASES {
+            let h = &self.phases[name];
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.percentile(0.999),
+                h.max()
+            );
+        }
+        if !self.hot_objects.is_empty() {
+            let _ = writeln!(out, "hottest objects by blocked time:");
+            for (object, t) in self.hot_objects.iter().take(TOP_K) {
+                let _ = writeln!(
+                    out,
+                    "  object {:<6} {:>9} us over {} spans",
+                    object.0, t.blocked_micros, t.spans
+                );
+            }
+        }
+        if !self.hot_shards.is_empty() {
+            let _ = writeln!(out, "hottest scheduler shards by blocked time:");
+            for (shard, t) in self.hot_shards.iter().take(TOP_K) {
+                let _ = writeln!(
+                    out,
+                    "  shard {:<7} {:>9} us over {} spans",
+                    shard, t.blocked_micros, t.spans
+                );
+            }
+        }
+        out
+    }
+
+    /// The report as JSON: per-phase percentile summaries plus the
+    /// attribution lists.
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Object(
+            self.phases
+                .iter()
+                .map(|(name, h)| (name.clone(), h.to_json()))
+                .collect(),
+        );
+        let objects = Json::Array(
+            self.hot_objects
+                .iter()
+                .map(|(object, t)| {
+                    Json::object([
+                        ("object", Json::Int(object.0 as i64)),
+                        ("blocked_us", Json::Int(t.blocked_micros as i64)),
+                        ("spans", Json::Int(t.spans as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        let shards = Json::Array(
+            self.hot_shards
+                .iter()
+                .map(|(shard, t)| {
+                    Json::object([
+                        ("shard", Json::Int(*shard as i64)),
+                        ("blocked_us", Json::Int(t.blocked_micros as i64)),
+                        ("spans", Json::Int(t.spans as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::object([
+            ("phases", phases),
+            ("hot_objects", objects),
+            ("hot_shards", shards),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(at_micros: u64, event: ObsEvent) -> ObsStamped {
+        ObsStamped { at_micros, event }
+    }
+
+    #[test]
+    fn phases_derive_from_a_hand_built_stream() {
+        let top = ExecId(1);
+        let obj = ObjectId(7);
+        let batches = vec![
+            (
+                "control".to_owned(),
+                vec![at(
+                    0,
+                    ObsEvent::Submit {
+                        spec: 0,
+                        attempt: 0,
+                    },
+                )],
+            ),
+            (
+                "worker-0".to_owned(),
+                vec![
+                    at(
+                        10,
+                        ObsEvent::Admit {
+                            top,
+                            spec: 0,
+                            attempt: 0,
+                        },
+                    ),
+                    at(
+                        20,
+                        ObsEvent::BlockBegin {
+                            top,
+                            object: obj,
+                            shard: 2,
+                        },
+                    ),
+                    at(
+                        50,
+                        ObsEvent::BlockEnd {
+                            top,
+                            object: obj,
+                            shard: 2,
+                        },
+                    ),
+                    at(100, ObsEvent::CertifyBegin { top }),
+                    at(110, ObsEvent::Commit { top }),
+                ],
+            ),
+            (
+                "wal".to_owned(),
+                vec![at(104, ObsEvent::FsyncBegin), at(109, ObsEvent::FsyncEnd)],
+            ),
+        ];
+        let r = LatencyReport::from_events(&batches);
+        assert_eq!(r.phase("queue_wait").unwrap().percentile(1.0), 10);
+        assert_eq!(r.phase("blocked").unwrap().percentile(1.0), 30);
+        // execute = certify(100) − admit(10) − blocked(30) = 60.
+        assert_eq!(r.phase("execute").unwrap().percentile(1.0), 60);
+        assert_eq!(r.phase("certify").unwrap().percentile(1.0), 10);
+        assert_eq!(r.phase("fsync").unwrap().percentile(1.0), 5);
+        // e2e = commit(110) − submit(0).
+        assert_eq!(r.e2e().percentile(1.0), 110);
+        assert_eq!(
+            r.hot_objects(),
+            &[(
+                obj,
+                BlockedTotal {
+                    blocked_micros: 30,
+                    spans: 1
+                }
+            )]
+        );
+        assert_eq!(
+            r.hot_shards(),
+            &[(
+                2,
+                BlockedTotal {
+                    blocked_micros: 30,
+                    spans: 1
+                }
+            )]
+        );
+        let table = r.render_table();
+        assert!(table.contains("e2e"));
+        assert!(table.contains("object 7"));
+    }
+
+    #[test]
+    fn dangling_block_span_closes_at_settle() {
+        let top = ExecId(3);
+        let obj = ObjectId(1);
+        let batches = vec![(
+            "worker-0".to_owned(),
+            vec![
+                at(
+                    0,
+                    ObsEvent::Admit {
+                        top,
+                        spec: 0,
+                        attempt: 0,
+                    },
+                ),
+                at(
+                    5,
+                    ObsEvent::BlockBegin {
+                        top,
+                        object: obj,
+                        shard: 0,
+                    },
+                ),
+                // Interrupted waiter: no BlockEnd, transaction aborts.
+                at(25, ObsEvent::Abort { top }),
+            ],
+        )];
+        let r = LatencyReport::from_events(&batches);
+        assert_eq!(r.phase("blocked").unwrap().count(), 1);
+        assert_eq!(r.phase("blocked").unwrap().percentile(1.0), 20);
+        // Aborted attempts contribute no e2e sample.
+        assert_eq!(r.e2e().count(), 0);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let r = LatencyReport::from_events(&[]);
+        for name in PHASES {
+            assert_eq!(r.phase(name).unwrap().count(), 0, "{name}");
+        }
+        assert!(r.hot_objects().is_empty());
+        let json = r.to_json().to_string();
+        assert!(json.contains("queue_wait"));
+    }
+}

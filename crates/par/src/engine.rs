@@ -40,6 +40,7 @@ use obase_core::sched::{AbortReason, Decision, Scheduler};
 use obase_core::value::Value;
 use obase_exec::kernel::LifecycleKernel;
 use obase_exec::{ExecParams, Program, RunResult, TxnSpec, WorkloadSpec};
+use obase_obs::{ObsEvent, ObsHandle, ObsLane};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -156,6 +157,7 @@ struct Shared<'w> {
     blocked_events: AtomicU64,
     workload: &'w WorkloadSpec,
     params: ParParams,
+    obs: ObsHandle,
 }
 
 /// The transaction currently being executed must stop: it was doomed by the
@@ -172,6 +174,11 @@ struct ActCtx {
     buf: EventBuffer,
     signal: Arc<Signal>,
     touched: BTreeSet<usize>,
+    /// This activity's observability lane (`worker-N` / `branch`); buffered
+    /// locally like `buf`, so the hot path takes no new locks.
+    olane: ObsLane,
+    /// Whether this transaction's `FirstGrant` has been emitted.
+    granted: bool,
 }
 
 /// Per-execution context: which execution the activity is currently running
@@ -242,6 +249,20 @@ pub fn execute_parallel(
     scheduler: Box<dyn Scheduler>,
     params: &ParParams,
 ) -> RunResult {
+    execute_parallel_observed(workload, scheduler, params, &ObsHandle::off())
+}
+
+/// [`execute_parallel`] with lifecycle observation: each worker buffers its
+/// events on an own `worker-N` lane (`Par` branches on `branch` lanes, the
+/// monitor and submissions on `control`), flushed at transaction boundaries —
+/// no new locks on the grant/install path. With a disabled handle this *is*
+/// [`execute_parallel`].
+pub fn execute_parallel_observed(
+    workload: &WorkloadSpec,
+    scheduler: Box<dyn Scheduler>,
+    params: &ParParams,
+    obs: &ObsHandle,
+) -> RunResult {
     let params = ParParams {
         workers: params.workers.max(1),
         ..params.clone()
@@ -275,13 +296,23 @@ pub fn execute_parallel(
         blocked_events: AtomicU64::new(0),
         workload,
         params,
+        obs: obs.clone(),
     };
+    if shared.obs.is_on() {
+        // Every workload transaction's first attempt is submitted up front;
+        // retries re-submit through the abort path.
+        let mut control = shared.obs.lane("control");
+        for spec in 0..workload.transactions.len() {
+            control.emit(ObsEvent::Submit { spec, attempt: 0 });
+        }
+    }
     let started = Instant::now();
     let done = Signal::new();
     std::thread::scope(|s| {
         let monitor = s.spawn(|| monitor_loop(&shared, &done, started));
+        let shared = &shared;
         let workers: Vec<_> = (0..shared.params.workers)
-            .map(|_| s.spawn(|| worker_loop(&shared)))
+            .map(|widx| s.spawn(move || worker_loop(shared, widx)))
             .collect();
         for w in workers {
             w.join().expect("worker thread panicked");
@@ -307,7 +338,7 @@ pub fn execute_parallel(
 
 // ----- worker loop ----------------------------------------------------------
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, widx: usize) {
     loop {
         let pending = {
             let mut l = life(shared);
@@ -332,7 +363,7 @@ fn worker_loop(shared: &Shared) {
             shared.work_cv.notify_all();
             return;
         };
-        run_top_level(shared, p);
+        run_top_level(shared, p, widx);
         let idle = {
             let mut l = life(shared);
             l.running -= 1;
@@ -345,13 +376,19 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending) {
+fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending, widx: usize) {
     let spec: &TxnSpec = &shared.workload.transactions[p.spec];
     let mut actx = ActCtx {
         act: usize::MAX,
         buf: EventBuffer::new(),
         signal: Arc::new(Signal::new()),
         touched: BTreeSet::new(),
+        olane: if shared.obs.is_on() {
+            shared.obs.lane(format!("worker-{widx}"))
+        } else {
+            ObsLane::off()
+        },
+        granted: false,
     };
     let top = {
         let mut l = life(shared);
@@ -363,6 +400,13 @@ fn run_top_level(shared: &Shared, p: obase_exec::kernel::Pending) {
             .announce_begin(top, None, ObjectId::ENVIRONMENT);
         top
     };
+    if actx.olane.is_on() {
+        actx.olane.emit(ObsEvent::Admit {
+            top,
+            spec: p.spec,
+            attempt: p.attempt,
+        });
+    }
     {
         let mut c = control(shared);
         actx.act = alloc_activity(&mut c, top);
@@ -435,6 +479,7 @@ fn run_program(
                     .iter()
                     .map(|branch| {
                         let touched = actx.touched.clone();
+                        let granted = actx.granted;
                         let mut bctx = Ctx {
                             exec: ctx.exec,
                             top: ctx.top,
@@ -449,6 +494,12 @@ fn run_program(
                                 buf: EventBuffer::new(),
                                 signal: Arc::new(Signal::new()),
                                 touched,
+                                olane: if shared.obs.is_on() {
+                                    shared.obs.lane("branch")
+                                } else {
+                                    ObsLane::off()
+                                },
+                                granted,
                             };
                             let r = run_program(shared, &mut bactx, &mut bctx, branch);
                             release_activity(shared, bactx.act);
@@ -527,7 +578,16 @@ fn do_local(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                park(shared, actx, ctx.top, waiting_for, shard, Some(slot))?;
+                park(
+                    shared,
+                    actx,
+                    ctx.top,
+                    waiting_for,
+                    shard,
+                    Some(slot),
+                    object,
+                    sidx,
+                )?;
                 continue;
             }
         }
@@ -555,6 +615,16 @@ fn do_local(
                 shared.installed_steps.fetch_add(1, Ordering::Relaxed);
                 drop(shard);
                 drop(slot);
+                if actx.olane.is_on() {
+                    if !actx.granted {
+                        actx.granted = true;
+                        actx.olane.emit(ObsEvent::FirstGrant { top: ctx.top });
+                    }
+                    actx.olane.emit(ObsEvent::Install {
+                        top: ctx.top,
+                        object,
+                    });
+                }
                 shared.bump();
                 return Ok(out);
             }
@@ -565,7 +635,16 @@ fn do_local(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                park(shared, actx, ctx.top, waiting_for, shard, Some(slot))?;
+                park(
+                    shared,
+                    actx,
+                    ctx.top,
+                    waiting_for,
+                    shard,
+                    Some(slot),
+                    object,
+                    sidx,
+                )?;
             }
         }
     }
@@ -611,9 +690,22 @@ fn do_invoke(
                 return Err(Interrupt);
             }
             Decision::Block { waiting_for } => {
-                park(shared, actx, ctx.top, waiting_for, shard, None)?;
+                park(
+                    shared,
+                    actx,
+                    ctx.top,
+                    waiting_for,
+                    shard,
+                    None,
+                    target,
+                    sidx,
+                )?;
             }
         }
+    }
+    if actx.olane.is_on() && !actx.granted {
+        actx.granted = true;
+        actx.olane.emit(ObsEvent::FirstGrant { top: ctx.top });
     }
     let mdef = shared
         .workload
@@ -688,6 +780,9 @@ fn commit_top_level(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
         handle_interrupt(shared, actx, top);
         return;
     }
+    if actx.olane.is_on() {
+        actx.olane.emit(ObsEvent::CertifyBegin { top });
+    }
     let touched = shared.touched_shards(top);
     let view = shared.index.view();
     if let Err(reason) = shared.plane.certify_commit(&touched, top, &view) {
@@ -714,6 +809,9 @@ fn commit_top_level(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
     };
     shared.index.clear_flags(top, LIVE);
     shared.index.set_flags(top, COMMITTED);
+    if actx.olane.is_on() {
+        actx.olane.emit(ObsEvent::Commit { top });
+    }
     shared.bump();
     // Targeted wakeup: the transaction's locks (held by its executions) are
     // released; wake exactly the waiters blocked behind them.
@@ -728,6 +826,7 @@ fn commit_top_level(shared: &Shared, actx: &mut ActCtx, top: ExecId) {
 /// missed. The store slot (if held) and the shard lock are released before
 /// sleeping. Wakes on a targeted notification or the tick backstop, then
 /// returns for the caller to re-request.
+#[allow(clippy::too_many_arguments)]
 fn park(
     shared: &Shared,
     actx: &mut ActCtx,
@@ -735,8 +834,17 @@ fn park(
     waiting_for: Vec<ExecId>,
     shard: crate::sched_plane::ShardGuard<'_>,
     slot: Option<ObjectSlot<'_>>,
+    object: ObjectId,
+    sidx: usize,
 ) -> Result<(), Interrupt> {
     shared.blocked_events.fetch_add(1, Ordering::Relaxed);
+    if actx.olane.is_on() {
+        actx.olane.emit(ObsEvent::BlockBegin {
+            top,
+            object,
+            shard: sidx,
+        });
+    }
     control(shared).activities[actx.act].blocked_on = waiting_for.clone();
     let token = shared.waiters.register(top, waiting_for, &actx.signal);
     drop(shard);
@@ -744,6 +852,13 @@ fn park(
     actx.signal.wait_timeout(shared.params.monitor_tick);
     shared.waiters.deregister(token);
     control(shared).activities[actx.act].blocked_on.clear();
+    if actx.olane.is_on() {
+        actx.olane.emit(ObsEvent::BlockEnd {
+            top,
+            object,
+            shard: sidx,
+        });
+    }
     if shared.is_interrupted(top) {
         Err(Interrupt)
     } else {
@@ -837,12 +952,17 @@ impl ExecutionDriver for ParDriver<'_, '_, '_> {
         let touched = shared.touched_shards(top);
         let view = shared.index.view();
         shared.plane.on_abort_subtree(&touched, subtree, &view);
-        let (retried, inline) = {
+        let (retried, inline, retry_spec) = {
             let mut l = life(shared);
             let allow_retry = !shared.shutdown.load(Ordering::Acquire);
             let release = l
                 .kernel
                 .account_release(top, removed_steps, invalidated, allow_retry);
+            let retry_spec = if release.retried {
+                l.kernel.execs.record(top).spec
+            } else {
+                None
+            };
             let mut inline = Vec::new();
             for v in release.victims {
                 if l.doomed.contains_key(&v.top) {
@@ -863,8 +983,17 @@ impl ExecutionDriver for ParDriver<'_, '_, '_> {
                     shared.waiters.wake_top(v.top);
                 }
             }
-            (release.retried, inline)
+            (release.retried, inline, retry_spec)
         };
+        if self.actx.olane.is_on() {
+            self.actx.olane.emit(ObsEvent::Abort { top });
+            if let Some((spec, attempt)) = retry_spec {
+                self.actx.olane.emit(ObsEvent::Retry {
+                    spec,
+                    attempt: attempt + 1,
+                });
+            }
+        }
         shared.bump();
         // Targeted wakeup: the victim's resources are gone; wake exactly the
         // waiters blocked behind its executions.
@@ -898,6 +1027,11 @@ fn process_abort(
 /// of that transaction only), and enforces the wall-clock deadline. Exits on
 /// its own once the run settles.
 fn monitor_loop(shared: &Shared, done: &Signal, started: Instant) {
+    let mut mlane = if shared.obs.is_on() {
+        shared.obs.lane("control")
+    } else {
+        ObsLane::off()
+    };
     loop {
         if done.wait_timeout(shared.params.monitor_tick) {
             return;
@@ -928,6 +1062,7 @@ fn monitor_loop(shared: &Shared, done: &Signal, started: Instant) {
             shared.index.set_flags(victim, DOOMED);
             drop(c);
             drop(l);
+            mlane.emit(ObsEvent::Doom { top: victim });
             shared.bump();
             // Targeted: only the victim's parked activities are woken.
             shared.waiters.wake_top(victim);

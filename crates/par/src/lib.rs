@@ -141,7 +141,7 @@ pub mod sched_plane;
 pub mod store;
 pub mod waiters;
 
-pub use engine::{execute_parallel, ParParams};
+pub use engine::{execute_parallel, execute_parallel_observed, ParParams};
 pub use sched_plane::SchedPlane;
 pub use store::{ObjectSlot, Shard, ShardedStore};
 

@@ -55,7 +55,7 @@ pub mod spec;
 pub use error::{ConfigError, RuntimeError, TheoryViolation};
 pub use registry::{SchedulerFactory, SchedulerRegistry};
 pub use report::{Faceoff, RunReport, TheoryChecks};
-pub use runtime::{ExecutionBackend, Runtime, RuntimeBuilder, SchedulerWrapper, Verify};
+pub use runtime::{ExecutionBackend, Observe, Runtime, RuntimeBuilder, SchedulerWrapper, Verify};
 pub use spec::SchedulerSpec;
 
 // Re-export the enums scheduler specs are parameterised by, so spec authors
@@ -63,3 +63,10 @@ pub use spec::SchedulerSpec;
 pub use obase_lock::{FlatMode, LockGranularity};
 pub use obase_par::ParParams;
 pub use obase_tso::NtoStyle;
+
+// Re-export the observability surface, so benches and scenarios configure
+// tracing without a direct `obase-obs` dependency.
+pub use obase_obs::{
+    ChromeTraceObserver, Histogram, LatencyReport, NullObserver, ObsEvent, ObsHandle, ObsStamped,
+    Observer, RecordingObserver,
+};

@@ -12,6 +12,7 @@ use crate::runtime::Verify;
 use crate::spec::SchedulerSpec;
 use obase_core::history::History;
 use obase_exec::{RunMetrics, RunResult};
+use obase_obs::LatencyReport;
 use obase_ser::Json;
 
 /// The outcome of the theory checks recorded in a report.
@@ -90,10 +91,20 @@ pub struct RunReport {
     pub metrics: RunMetrics,
     /// The theory checks performed at the configured level.
     pub checks: TheoryChecks,
+    /// Per-phase latency histograms and blocked-time attribution, when the
+    /// runtime was built with an observing [`Observe`](crate::Observe) plan
+    /// (`None` under [`Observe::Off`](crate::Observe::Off) and
+    /// [`Observe::Custom`](crate::Observe::Custom)).
+    pub latency: Option<LatencyReport>,
 }
 
 impl RunReport {
-    pub(crate) fn new(spec: SchedulerSpec, result: RunResult, level: Verify) -> Self {
+    pub(crate) fn new(
+        spec: SchedulerSpec,
+        result: RunResult,
+        level: Verify,
+        latency: Option<LatencyReport>,
+    ) -> Self {
         let checks = TheoryChecks::compute(&result.history, level);
         RunReport {
             spec,
@@ -103,7 +114,13 @@ impl RunReport {
             raw_history: result.raw_history,
             metrics: result.metrics,
             checks,
+            latency,
         }
+    }
+
+    /// The latency report, when the run was observed.
+    pub fn latency(&self) -> Option<&LatencyReport> {
+        self.latency.as_ref()
     }
 
     /// Checks the full battery — legality, the Theorem 2 serialisation-graph
@@ -185,6 +202,13 @@ impl RunReport {
             ("scheduler", Json::str(&self.scheduler)),
             ("metrics", self.metrics.to_json()),
             ("checks", self.checks.to_json()),
+            (
+                "latency",
+                self.latency
+                    .as_ref()
+                    .map(LatencyReport::to_json)
+                    .unwrap_or(Json::Null),
+            ),
             (
                 "history",
                 Json::object([

@@ -32,8 +32,9 @@ use crate::report::{Faceoff, RunReport};
 use crate::spec::SchedulerSpec;
 use obase_core::ids::ObjectId;
 use obase_core::sched::Scheduler;
-use obase_exec::engine::{execute, ExecParams};
+use obase_exec::engine::{execute_observed, ExecParams};
 use obase_exec::{ObjRef, Program, RunResult, WorkloadSpec};
+use obase_obs::{ChromeTraceObserver, LatencyReport, ObsHandle, Observer, RecordingObserver};
 use obase_par::ParParams;
 use std::fmt;
 use std::sync::Arc;
@@ -128,6 +129,45 @@ impl ExecutionBackend {
     }
 }
 
+/// What a run observes: the runtime's grip on `obase-obs`.
+///
+/// The default is [`Observe::Off`], which hands the engines the collapsed
+/// [`ObsHandle`](obase_obs::ObsHandle) — one branch at startup, nothing on
+/// the hot path. [`Observe::Latency`] records the lifecycle stream in memory
+/// and distils it into [`RunReport::latency`]; [`Observe::Trace`] shares a
+/// [`ChromeTraceObserver`] with the caller (who exports the Perfetto JSON
+/// after the run) and *also* fills in the latency report.
+#[derive(Clone, Default)]
+pub enum Observe {
+    /// No observation (the zero-cost default).
+    #[default]
+    Off,
+    /// Record lifecycle events per run and attach a
+    /// [`LatencyReport`](obase_obs::LatencyReport) to the [`RunReport`].
+    Latency,
+    /// Stream events into the given trace observer (shared with the caller,
+    /// which renders `chrome://tracing` JSON after the run). The latency
+    /// report is derived from the same stream.
+    Trace(Arc<ChromeTraceObserver>),
+    /// A caller-supplied observer. The runtime derives no latency report
+    /// from it; if the observer's
+    /// [`enabled`](obase_obs::Observer::enabled) is `false` (e.g.
+    /// [`NullObserver`](obase_obs::NullObserver)), the handle collapses and
+    /// the run is exactly as cheap as [`Observe::Off`].
+    Custom(Arc<dyn Observer>),
+}
+
+impl fmt::Debug for Observe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observe::Off => f.write_str("Off"),
+            Observe::Latency => f.write_str("Latency"),
+            Observe::Trace(_) => f.write_str("Trace(<chrome trace observer>)"),
+            Observe::Custom(_) => f.write_str("Custom(<observer>)"),
+        }
+    }
+}
+
 /// How much post-hoc theory checking a [`RunReport`] performs.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Verify {
@@ -158,6 +198,7 @@ pub struct Runtime {
     deadline: Option<Duration>,
     wrapper: Wrapper,
     verify: Verify,
+    observe: Observe,
 }
 
 impl Runtime {
@@ -181,20 +222,55 @@ impl Runtime {
         &self.backend
     }
 
+    /// The observation plan configured at build time.
+    pub fn observe_mode(&self) -> &Observe {
+        &self.observe
+    }
+
+    /// Builds the per-run observer handle, plus the recorder to distil a
+    /// [`LatencyReport`] from afterwards (when the plan calls for one).
+    fn observer(&self) -> (ObsHandle, Option<Arc<RecordingObserver>>) {
+        match &self.observe {
+            Observe::Off => (ObsHandle::off(), None),
+            Observe::Latency => {
+                let rec = Arc::new(RecordingObserver::default());
+                (ObsHandle::new(rec.clone()), Some(rec))
+            }
+            Observe::Trace(t) => (ObsHandle::new(t.clone()), None),
+            Observe::Custom(o) => (ObsHandle::new(o.clone()), None),
+        }
+    }
+
+    /// Distils the latency report after a run, from whichever recorder the
+    /// plan used.
+    fn latency_of(&self, rec: Option<Arc<RecordingObserver>>) -> Option<LatencyReport> {
+        match (&self.observe, rec) {
+            (_, Some(rec)) => Some(rec.latency()),
+            (Observe::Trace(t), None) => Some(t.latency()),
+            _ => None,
+        }
+    }
+
     fn dispatch(
         &self,
         workload: &WorkloadSpec,
         scheduler: Box<dyn Scheduler>,
+        obs: &ObsHandle,
     ) -> Result<RunResult, RuntimeError> {
         let scheduler = self.wrapper.apply(scheduler);
         match &self.backend {
             ExecutionBackend::Simulated => {
                 let mut scheduler = scheduler;
-                Ok(execute(workload, scheduler.as_mut(), &self.params))
+                Ok(execute_observed(
+                    workload,
+                    scheduler.as_mut(),
+                    &self.params,
+                    obs,
+                ))
             }
             ExecutionBackend::Parallel { workers } => {
                 let defaults = ParParams::from_exec(&self.params, *workers);
-                Ok(obase_par::execute_parallel(
+                Ok(obase_par::execute_parallel_observed(
                     workload,
                     scheduler,
                     &ParParams {
@@ -202,16 +278,18 @@ impl Runtime {
                         deadline: self.deadline.unwrap_or(defaults.deadline),
                         ..defaults
                     },
+                    obs,
                 ))
             }
             ExecutionBackend::Durable { dir, group_commit } => {
                 let mut scheduler = scheduler;
-                obase_wal::execute_durable(
+                obase_wal::execute_durable_observed(
                     workload,
                     scheduler.as_mut(),
                     &self.params,
                     dir,
                     *group_commit,
+                    obs,
                 )
                 .map_err(|e| RuntimeError::Durability(e.to_string()))
             }
@@ -227,8 +305,15 @@ impl Runtime {
     pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
         validate_workload(workload)?;
         let scheduler = self.registry.instantiate(&self.spec)?;
-        let result = self.dispatch(workload, scheduler)?;
-        Ok(RunReport::new(self.spec.clone(), result, self.verify))
+        let (obs, rec) = self.observer();
+        let result = self.dispatch(workload, scheduler, &obs)?;
+        let latency = self.latency_of(rec);
+        Ok(RunReport::new(
+            self.spec.clone(),
+            result,
+            self.verify,
+            latency,
+        ))
     }
 
     /// Runs the same workload under each spec (with this runtime's engine
@@ -242,8 +327,10 @@ impl Runtime {
         let mut reports = Vec::with_capacity(specs.len());
         for spec in specs {
             let scheduler = self.registry.instantiate(spec)?;
-            let result = self.dispatch(workload, scheduler)?;
-            reports.push(RunReport::new(spec.clone(), result, self.verify));
+            let (obs, rec) = self.observer();
+            let result = self.dispatch(workload, scheduler, &obs)?;
+            let latency = self.latency_of(rec);
+            reports.push(RunReport::new(spec.clone(), result, self.verify, latency));
         }
         Ok(Faceoff::new(reports))
     }
@@ -279,6 +366,7 @@ pub struct RuntimeBuilder {
     deadline: Option<Duration>,
     wrapper: Wrapper,
     verify: Verify,
+    observe: Observe,
 }
 
 impl RuntimeBuilder {
@@ -368,6 +456,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the observation plan (default [`Observe::Off`]).
+    ///
+    /// [`Observe::Latency`] attaches a per-phase
+    /// [`LatencyReport`](obase_obs::LatencyReport) to every
+    /// [`RunReport`](crate::RunReport); [`Observe::Trace`] additionally
+    /// streams the run into a shared
+    /// [`ChromeTraceObserver`](obase_obs::ChromeTraceObserver) for Perfetto
+    /// export.
+    pub fn observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
     /// Replaces the scheduler registry (to add custom scheduler kinds).
     pub fn registry(mut self, registry: SchedulerRegistry) -> Self {
         self.registry = registry;
@@ -404,6 +505,7 @@ impl RuntimeBuilder {
             deadline: self.deadline,
             wrapper: self.wrapper,
             verify: self.verify,
+            observe: self.observe,
         })
     }
 }

@@ -43,26 +43,38 @@ pub mod library;
 pub mod spec;
 
 pub use faults::FaultInjector;
-pub use library::{by_name, library, names};
+pub use library::{by_name, intent, library, names};
 pub use spec::{
     AdtKind, ClientClass, CrashPlan, FaultPlan, KeyDist, NestingShape, ObjectGroup, Scenario,
     ScenarioError, Storm,
 };
 
 use obase_runtime::{
-    ConfigError, ExecutionBackend, RunReport, Runtime, RuntimeError, SchedulerSpec, Verify,
+    ConfigError, ExecutionBackend, Observe, RunReport, Runtime, RuntimeError, SchedulerSpec, Verify,
 };
 use std::time::Duration;
 
 impl Scenario {
     /// Builds a [`Runtime`] configured for this scenario: clients, seed,
     /// retries, [`Verify::Full`], the requested backend, the fault
-    /// injector (when the plan injects anything) and the deadline (when the
-    /// plan sets one).
+    /// injector (when the plan injects anything), the deadline (when the
+    /// plan sets one) and [`Observe::Latency`] — every scenario run carries
+    /// a per-phase latency report.
     pub fn runtime(
         &self,
         spec: SchedulerSpec,
         backend: ExecutionBackend,
+    ) -> Result<Runtime, ConfigError> {
+        self.runtime_observed(spec, backend, Observe::Latency)
+    }
+
+    /// Like [`Scenario::runtime`] with an explicit observation plan — e.g.
+    /// [`Observe::Trace`] to export a Perfetto timeline of the run.
+    pub fn runtime_observed(
+        &self,
+        spec: SchedulerSpec,
+        backend: ExecutionBackend,
+        observe: Observe,
     ) -> Result<Runtime, ConfigError> {
         let mut builder = Runtime::builder()
             .scheduler(spec)
@@ -70,7 +82,8 @@ impl Scenario {
             .seed(self.seed)
             .retries(self.retries)
             .backend(backend)
-            .verify(Verify::Full);
+            .verify(Verify::Full)
+            .observe(observe);
         if let Some(ms) = self.faults.deadline_ms {
             builder = builder.deadline(Duration::from_millis(ms));
         }
@@ -85,13 +98,25 @@ impl Scenario {
     }
 
     /// Compiles and runs the scenario under one scheduler spec on one
-    /// backend, returning the verified report.
+    /// backend, returning the verified report (latency included, per
+    /// [`Scenario::runtime`]).
     pub fn run(
         &self,
         spec: &SchedulerSpec,
         backend: ExecutionBackend,
     ) -> Result<RunReport, RuntimeError> {
         self.runtime(spec.clone(), backend)?.run(&self.compile())
+    }
+
+    /// Compiles and runs the scenario with an explicit observation plan.
+    pub fn run_observed(
+        &self,
+        spec: &SchedulerSpec,
+        backend: ExecutionBackend,
+        observe: Observe,
+    ) -> Result<RunReport, RuntimeError> {
+        self.runtime_observed(spec.clone(), backend, observe)?
+            .run(&self.compile())
     }
 }
 
@@ -111,6 +136,16 @@ mod tests {
         }
         assert!(by_name("hot-queue").is_some());
         assert!(by_name("no-such-scenario").is_none());
+        // Every library scenario has a one-line intent, and vice versa the
+        // intent table names no phantom scenarios.
+        for s in &lib {
+            assert!(
+                intent(&s.name).is_some_and(|i| !i.is_empty()),
+                "{} has no intent line",
+                s.name
+            );
+        }
+        assert!(intent("no-such-scenario").is_none());
     }
 
     #[test]

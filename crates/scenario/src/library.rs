@@ -238,6 +238,31 @@ pub fn names() -> Vec<String> {
     library().into_iter().map(|s| s.name).collect()
 }
 
+/// One line of intent per built-in scenario — what mechanism it stresses.
+/// `scenarios --list` prints these next to the names; a test keeps the table
+/// in lockstep with [`library`].
+pub fn intent(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "hot-queue" => "producers and consumers fighting over two hot queues under skewed choice",
+        "deep-nesting" => {
+            "four-deep invocation chains: lock inheritance and certification at depth"
+        }
+        "wide-fanout" => "wide Par fan-out: sibling sub-transactions competing within one parent",
+        "abort-storm" => "a certification-abort burst over a counter hotspot, then retry recovery",
+        "stall-recover" => "random worker stalls holding locks while the rest of the mix moves",
+        "btree-range-contention" => "range scans colliding with point mutations on a hot B-tree",
+        "mixed-adt-uniform" => "one class per semantic ADT, uniform access: the cross-type smoke",
+        "partitioned-accounts" => {
+            "partitioned tenants, zero cross-partition conflicts by construction"
+        }
+        "injected-dooms" => {
+            "steady doom injection on a register hotspot: the abort/undo/retry path"
+        }
+        "deadline-rush" => "wall-clock deadline pressure on the parallel backend",
+        _ => return None,
+    })
+}
+
 /// Looks a built-in scenario up by name.
 pub fn by_name(name: &str) -> Option<Scenario> {
     library().into_iter().find(|s| s.name == name)

@@ -43,6 +43,7 @@ use obase_core::sched::{AbortReason, Scheduler};
 use obase_core::value::Value;
 use obase_exec::store::{replay_log, LogEntry};
 use obase_exec::{drive, ExecParams, RunResult, WorkloadSpec};
+use obase_obs::ObsHandle;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::Arc;
@@ -58,12 +59,34 @@ pub fn execute_durable(
     dir: &Path,
     group_commit: usize,
 ) -> Result<RunResult, WalError> {
+    execute_durable_observed(
+        workload,
+        scheduler,
+        config,
+        dir,
+        group_commit,
+        &ObsHandle::off(),
+    )
+}
+
+/// [`execute_durable`] with lifecycle observation: the simulator loop's
+/// events plus an fsync begin/end span per group-commit sync, emitted on the
+/// `"wal"` lane. With a disabled handle this *is* [`execute_durable`].
+pub fn execute_durable_observed(
+    workload: &WorkloadSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &ExecParams,
+    dir: &Path,
+    group_commit: usize,
+    obs: &ObsHandle,
+) -> Result<RunResult, WalError> {
     std::fs::create_dir_all(dir)?;
-    let writer = WalWriter::create(&log_path(dir), group_commit)?;
+    let mut writer = WalWriter::create(&log_path(dir), group_commit)?;
+    writer.set_observer(obs.lane("wal"));
     let mut builder = HistoryBuilder::new(Arc::clone(workload.def.base()));
     builder.set_auto_program_order(false);
     let recorder = WalRecorder::new(builder, writer)?;
-    let (kernel, recorder) = drive(workload, scheduler, config, "durable", recorder);
+    let (kernel, recorder) = drive(workload, scheduler, config, "durable", recorder, obs);
     let (builder, _syncs) = recorder.finish()?;
     Ok(kernel.into_result(builder.build()))
 }

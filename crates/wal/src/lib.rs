@@ -69,7 +69,7 @@ pub mod crash;
 pub mod log;
 pub mod recorder;
 
-pub use backend::{execute_durable, Recovered, WalBackend};
+pub use backend::{execute_durable, execute_durable_observed, Recovered, WalBackend};
 pub use codec::WalRecord;
 pub use log::{log_path, LogScan, WalWriter};
 pub use recorder::WalRecorder;

@@ -28,6 +28,7 @@
 //! whatever the OS page cache survives).
 
 use crate::codec::WalRecord;
+use obase_obs::{ObsEvent, ObsLane};
 use obase_ser::Json;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
@@ -76,6 +77,7 @@ pub struct WalWriter {
     pending_commits: usize,
     records: u64,
     syncs: u64,
+    obs: ObsLane,
 }
 
 impl WalWriter {
@@ -88,7 +90,14 @@ impl WalWriter {
             pending_commits: 0,
             records: 0,
             syncs: 0,
+            obs: ObsLane::off(),
         })
+    }
+
+    /// Attaches an observability lane: every fsync is emitted as a
+    /// begin/end span (the `"wal"` lane of a traced durable run).
+    pub fn set_observer(&mut self, lane: ObsLane) {
+        self.obs = lane;
     }
 
     /// Appends one record; on a commit record, fsyncs if the window is full.
@@ -105,8 +114,10 @@ impl WalWriter {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        self.obs.emit(ObsEvent::FsyncBegin);
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        self.obs.emit(ObsEvent::FsyncEnd);
         self.pending_commits = 0;
         self.syncs += 1;
         Ok(())
@@ -125,11 +136,16 @@ impl WalWriter {
     /// Flushes userspace buffers and, unless fsync is disabled, syncs the
     /// tail window. Returns the total number of fsyncs issued.
     pub fn finish(mut self) -> io::Result<u64> {
-        self.writer.flush()?;
         if self.group_commit >= 1 {
+            self.obs.emit(ObsEvent::FsyncBegin);
+            self.writer.flush()?;
             self.writer.get_ref().sync_data()?;
+            self.obs.emit(ObsEvent::FsyncEnd);
             self.syncs += 1;
+        } else {
+            self.writer.flush()?;
         }
+        self.obs.flush();
         Ok(self.syncs)
     }
 }

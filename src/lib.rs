@@ -29,6 +29,10 @@
 //! * [`wal`] — the durable write-ahead-logged backend (append-only checksummed
 //!   log, group commit, crash recovery held to the same oracle), selected
 //!   with [`ExecutionBackend::Durable`];
+//! * [`obs`] — the observability layer: lifecycle tracing across all three
+//!   backends, per-phase latency histograms, blocked-time attribution and
+//!   Chrome/Perfetto trace export, switched on with
+//!   [`Observe`](obase_runtime::Observe) on the [`Runtime`] builder;
 //! * [`workload`] — seeded workload generators;
 //! * [`scenario`] — the declarative scenario engine: a JSON workload DSL
 //!   (client mixes, key distributions, nesting shapes over every ADT) plus
@@ -85,6 +89,7 @@ pub use obase_adt as adt;
 pub use obase_core as core;
 pub use obase_exec as exec;
 pub use obase_lock as lock;
+pub use obase_obs as obs;
 pub use obase_occ as occ;
 pub use obase_par as par;
 pub use obase_runtime as runtime;
@@ -107,8 +112,8 @@ pub mod prelude {
         Expr, MethodDef, ObjectBaseDef, Program, RunMetrics, TxnSpec, WorkloadSpec,
     };
     pub use obase_runtime::{
-        ConfigError, ExecutionBackend, Faceoff, FlatMode, LockGranularity, NtoStyle, RunReport,
-        Runtime, RuntimeBuilder, RuntimeError, SchedulerRegistry, SchedulerSpec, TheoryChecks,
-        TheoryViolation, Verify,
+        ConfigError, ExecutionBackend, Faceoff, FlatMode, LockGranularity, NtoStyle, Observe,
+        RunReport, Runtime, RuntimeBuilder, RuntimeError, SchedulerRegistry, SchedulerSpec,
+        TheoryChecks, TheoryViolation, Verify,
     };
 }
