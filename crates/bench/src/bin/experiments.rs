@@ -37,6 +37,7 @@ fn main() {
     let mut assert_scaling = false;
     let mut assert_durability = false;
     let mut assert_overhead = false;
+    let mut assert_read_scaling = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -60,6 +61,10 @@ fn main() {
             // Observability guard: fail the process if the e12 sweep shows
             // the NullObserver plan below 97% of the no-observer baseline.
             "--assert-overhead" => assert_overhead = true,
+            // Read-scaling guard: fail the process if the e13 sweep shows
+            // the snapshot-on rounds-throughput below 1.5× the snapshot-off
+            // point on the 99/1 read mix.
+            "--assert-read-scaling" => assert_read_scaling = true,
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -126,6 +131,11 @@ fn main() {
             "E12 — observability overhead: observation plans vs the no-observer baseline",
             Box::new(xp::e12_observer_overhead),
         ),
+        (
+            "e13",
+            "E13 — MVCC snapshot read path: snapshot-on vs off + sustained soak",
+            Box::new(xp::e13_mvcc_read_path),
+        ),
     ];
 
     let mut results: Vec<(&str, &str, Vec<xp::Row>)> = Vec::new();
@@ -176,6 +186,22 @@ fn main() {
             Ok(()) => eprintln!("observer guard: ok (NullObserver ≥ 97% of no-observer baseline)"),
             Err(msg) => {
                 eprintln!("observer guard FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if assert_read_scaling {
+        let e13 = results
+            .iter()
+            .find(|(key, _, _)| *key == "e13")
+            .map(|(_, _, rows)| rows.as_slice())
+            .expect("--assert-read-scaling requires the e13 experiment to run");
+        match xp::check_read_scaling_guard(e13) {
+            Ok(()) => {
+                eprintln!("read-scaling guard: ok (snapshot-on ≥ 1.5× snapshot-off on 99/1)");
+            }
+            Err(msg) => {
+                eprintln!("read-scaling guard FAILED: {msg}");
                 std::process::exit(1);
             }
         }

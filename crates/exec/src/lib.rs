@@ -64,6 +64,7 @@ pub mod engine;
 pub mod kernel;
 pub mod metrics;
 pub mod mixed;
+pub mod mvcc;
 pub mod program;
 pub mod store;
 
@@ -71,5 +72,6 @@ pub use engine::{drive, execute, execute_observed, ExecParams, RunResult};
 pub use kernel::LifecycleKernel;
 pub use metrics::RunMetrics;
 pub use mixed::MixedScheduler;
+pub use mvcc::{classify, execute_plan, plan_specs, SnapshotOutcome, SnapshotPlan, VersionedStore};
 pub use program::{Expr, MethodDef, ObjRef, ObjectBaseDef, Program, TxnSpec, WorkloadSpec};
 pub use store::{replay_log, LogEntry, ObjectStore};

@@ -38,6 +38,13 @@ pub struct RunMetrics {
     pub installed_steps: u64,
     /// Local steps that were installed by executions that later aborted.
     pub wasted_steps: u64,
+    /// Top-level transactions settled through the MVCC snapshot read path
+    /// (no scheduler interaction, no certification). Zero unless the run
+    /// enabled snapshot reads.
+    pub read_only_txns: usize,
+    /// Local read operations served from committed versions by the snapshot
+    /// read path.
+    pub snapshot_reads: u64,
     /// Scheduling rounds until all transactions settled — the makespan of the
     /// run on the simulated parallel machine. The parallel backend reports
     /// its count of control-plane state transitions here (every grant,
@@ -122,6 +129,8 @@ impl RunMetrics {
             ("blocked_events", Json::Int(self.blocked_events as i64)),
             ("installed_steps", Json::Int(self.installed_steps as i64)),
             ("wasted_steps", Json::Int(self.wasted_steps as i64)),
+            ("read_only_txns", Json::Int(self.read_only_txns as i64)),
+            ("snapshot_reads", Json::Int(self.snapshot_reads as i64)),
             ("rounds", Json::Int(self.rounds as i64)),
             ("wall_micros", Json::Int(self.wall_micros as i64)),
             ("timed_out", Json::Bool(self.timed_out)),

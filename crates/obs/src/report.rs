@@ -13,6 +13,9 @@
 //!   certified top-level transaction;
 //! * `certify` — certify-start → commit settle;
 //! * `fsync` — each WAL fsync span (durable backend only);
+//! * `snapshot_read` — submit → commit settle of transactions served by the
+//!   MVCC snapshot read path (they are never admitted by a scheduler, so
+//!   they appear in no other phase);
 //! * `e2e` — submit of the committing attempt → commit settle.
 
 use crate::event::{ObsEvent, ObsStamped};
@@ -41,12 +44,13 @@ pub struct LatencyReport {
 }
 
 /// The phase names [`LatencyReport::phase`] answers to, in report order.
-pub const PHASES: [&str; 6] = [
+pub const PHASES: [&str; 7] = [
     "queue_wait",
     "blocked",
     "execute",
     "certify",
     "fsync",
+    "snapshot_read",
     "e2e",
 ];
 
@@ -65,6 +69,7 @@ impl LatencyReport {
 
         let mut submit: BTreeMap<(usize, u32), u64> = BTreeMap::new();
         let mut admit: BTreeMap<ExecId, (usize, u32, u64)> = BTreeMap::new();
+        let mut snapshot: BTreeMap<ExecId, (usize, u32)> = BTreeMap::new();
         let mut certify: BTreeMap<ExecId, u64> = BTreeMap::new();
         let mut commit: BTreeMap<ExecId, u64> = BTreeMap::new();
         let mut abort: BTreeMap<ExecId, u64> = BTreeMap::new();
@@ -91,6 +96,9 @@ impl LatencyReport {
                 }
                 ObsEvent::Abort { top } => {
                     abort.entry(top).or_insert(s.at_micros);
+                }
+                ObsEvent::SnapshotRead { top, spec, attempt } => {
+                    snapshot.entry(top).or_insert((spec, attempt));
                 }
                 ObsEvent::BlockBegin { top, object, shard } => {
                     open_blocks
@@ -133,6 +141,7 @@ impl LatencyReport {
         let mut blocked = Histogram::new();
         let mut execute = Histogram::new();
         let mut certify_h = Histogram::new();
+        let mut snapshot_h = Histogram::new();
         let mut e2e = Histogram::new();
         let mut blocked_by_top: BTreeMap<ExecId, u64> = BTreeMap::new();
         let mut by_object: BTreeMap<ObjectId, BlockedTotal> = BTreeMap::new();
@@ -167,6 +176,14 @@ impl LatencyReport {
                 e2e.record(commit_at.saturating_sub(born));
             }
         }
+        // Snapshot-served transactions are never admitted: their whole life
+        // is submit → commit settle.
+        for (&top, &(spec, attempt)) in &snapshot {
+            if let Some(&commit_at) = commit.get(&top) {
+                let born = submit.get(&(spec, attempt)).copied().unwrap_or(commit_at);
+                snapshot_h.record(commit_at.saturating_sub(born));
+            }
+        }
 
         let mut hot_objects: Vec<(ObjectId, BlockedTotal)> = by_object.into_iter().collect();
         hot_objects.sort_by(|a, b| {
@@ -188,6 +205,7 @@ impl LatencyReport {
             ("execute", execute),
             ("certify", certify_h),
             ("fsync", fsync),
+            ("snapshot_read", snapshot_h),
             ("e2e", e2e),
         ] {
             phases.insert(name.to_owned(), h);

@@ -404,6 +404,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the MVCC snapshot read path (default off). With it on,
+    /// transactions whose every operation is statically read-only execute
+    /// against committed multi-version state pinned at a commit watermark —
+    /// no scheduler interaction, no certification, no aborts — while
+    /// writers go through the scheduler unchanged. Applies to all three
+    /// backends; with it off, runs are bit-for-bit what they were before
+    /// the knob existed.
+    pub fn mvcc(mut self, mvcc: bool) -> Self {
+        self.params.mvcc = mvcc;
+        self
+    }
+
     /// Sets the execution backend (default [`ExecutionBackend::Simulated`]).
     ///
     /// [`ExecutionBackend::Parallel`] executes on real OS threads: `seed`

@@ -18,9 +18,10 @@
 //!   plan, installed via
 //!   [`RuntimeBuilder::wrap_scheduler`](obase_runtime::RuntimeBuilder::wrap_scheduler),
 //!   so both backends run the same chaos;
-//! * [`library`] — ten built-in scenarios (`hot-queue`, `deep-nesting`,
-//!   `abort-storm`, `btree-range-contention`, ...), each stressing one
-//!   mechanism; the backend-equivalence oracle sweeps all of them.
+//! * [`library`] — twelve built-in scenarios (`hot-queue`, `deep-nesting`,
+//!   `abort-storm`, `btree-range-contention`, `read-only-rush`, ...), each
+//!   stressing one mechanism; the backend-equivalence oracle sweeps all of
+//!   them.
 //!
 //! ```
 //! use obase_scenario as scenario;
@@ -76,12 +77,29 @@ impl Scenario {
         backend: ExecutionBackend,
         observe: Observe,
     ) -> Result<Runtime, ConfigError> {
+        self.runtime_with(spec, backend, observe, false)
+    }
+
+    /// Like [`Scenario::runtime_observed`] with the MVCC snapshot read path
+    /// switched on or off ([`RuntimeBuilder::mvcc`]); the read-mix
+    /// scenarios (`read-mostly-dict`, `read-only-rush`) are built to be run
+    /// both ways.
+    ///
+    /// [`RuntimeBuilder::mvcc`]: obase_runtime::RuntimeBuilder::mvcc
+    pub fn runtime_with(
+        &self,
+        spec: SchedulerSpec,
+        backend: ExecutionBackend,
+        observe: Observe,
+        mvcc: bool,
+    ) -> Result<Runtime, ConfigError> {
         let mut builder = Runtime::builder()
             .scheduler(spec)
             .clients(self.clients)
             .seed(self.seed)
             .retries(self.retries)
             .backend(backend)
+            .mvcc(mvcc)
             .verify(Verify::Full)
             .observe(observe);
         if let Some(ms) = self.faults.deadline_ms {
@@ -116,6 +134,20 @@ impl Scenario {
         observe: Observe,
     ) -> Result<RunReport, RuntimeError> {
         self.runtime_observed(spec.clone(), backend, observe)?
+            .run(&self.compile())
+    }
+
+    /// Compiles and runs the scenario with the MVCC snapshot read path on
+    /// or off; `report.metrics.snapshot_reads` says how much of the run the
+    /// fast path absorbed.
+    pub fn run_with(
+        &self,
+        spec: &SchedulerSpec,
+        backend: ExecutionBackend,
+        observe: Observe,
+        mvcc: bool,
+    ) -> Result<RunReport, RuntimeError> {
+        self.runtime_with(spec.clone(), backend, observe, mvcc)?
             .run(&self.compile())
     }
 }

@@ -1,7 +1,8 @@
 //! The built-in scenario library.
 //!
-//! Ten named scenarios spanning every `obase-adt` type, the nesting shapes
-//! of Section 3 and the fault plans of the chaos engine. Each is small
+//! Twelve named scenarios spanning every `obase-adt` type, the nesting
+//! shapes of Section 3, the read-mix extremes of the MVCC snapshot path and
+//! the fault plans of the chaos engine. Each is small
 //! enough for the equivalence oracle to sweep on every CI push yet shaped
 //! to stress one specific mechanism — see `docs/SCENARIOS.md` for the
 //! intent of each.
@@ -230,6 +231,31 @@ pub fn library() -> Vec<Scenario> {
     rush.faults.deadline_ms = Some(5_000);
     out.push(rush);
 
+    // A 95/5 read/write mix over dictionaries: most compiled transactions
+    // are entirely `Lookup`/`Size` and thus eligible for the MVCC snapshot
+    // read path, while the writer minority keeps the version chains moving.
+    out.push(scenario(
+        "read-mostly-dict",
+        111,
+        32,
+        vec![group("d", AdtKind::Dictionary, 4, 24)],
+        vec![class("readers", "d", 2, 0.95, KeyDist::Uniform)],
+        vec![SchedulerSpec::n2pl_operation()],
+    ));
+
+    // A 99/1 mix, the snapshot-read showcase: with MVCC on, almost the
+    // whole workload bypasses the scheduler; with it off, every reader
+    // still queues through admission — the e13 scaling guard compares the
+    // two.
+    out.push(scenario(
+        "read-only-rush",
+        112,
+        32,
+        vec![group("d", AdtKind::Dictionary, 4, 24)],
+        vec![class("rush", "d", 2, 0.99, KeyDist::Uniform)],
+        vec![SchedulerSpec::n2pl_operation()],
+    ));
+
     out
 }
 
@@ -259,6 +285,10 @@ pub fn intent(name: &str) -> Option<&'static str> {
             "steady doom injection on a register hotspot: the abort/undo/retry path"
         }
         "deadline-rush" => "wall-clock deadline pressure on the parallel backend",
+        "read-mostly-dict" => {
+            "a 95/5 dictionary mix: the MVCC snapshot read path with live writers"
+        }
+        "read-only-rush" => "a 99/1 dictionary mix: the snapshot-read scaling showcase (e13 guard)",
         _ => return None,
     })
 }

@@ -93,6 +93,44 @@ pub enum WalRecord {
         /// The committed top-level execution.
         exec: ExecId,
     },
+    /// A message step of a snapshot-read transaction (MVCC read path):
+    /// replayed through the builder's deferred-interval snapshot path, so
+    /// recovery reproduces the fabricated read timeline exactly.
+    SnapshotInvoke {
+        /// Final id of the message step.
+        step: StepId,
+        /// The invoking execution.
+        parent: ExecId,
+        /// The created child execution.
+        child: ExecId,
+        /// The target object.
+        target: ObjectId,
+        /// The invoked method.
+        method: String,
+        /// The invocation arguments.
+        args: Vec<Value>,
+    },
+    /// A snapshot read, anchored to the last step of the committed version
+    /// it observed.
+    SnapshotLocal {
+        /// Final id of the step.
+        step: StepId,
+        /// The issuing execution.
+        exec: ExecId,
+        /// The (read-only) operation.
+        op: Operation,
+        /// The observed return value.
+        ret: Value,
+        /// Final id of the observed version's last step, if any.
+        anchor: Option<StepId>,
+    },
+    /// A snapshot message step's return value.
+    SnapshotComplete {
+        /// Final id of the message step.
+        step: StepId,
+        /// The value returned to the sender.
+        ret: Value,
+    },
 }
 
 /// Encodes a [`Value`] as a tagged JSON array.
@@ -265,6 +303,46 @@ impl WalRecord {
             WalRecord::CommitTop { exec } => {
                 Json::object([("t", Json::str("K")), ("e", Json::Int(exec.0 as i64))])
             }
+            WalRecord::SnapshotInvoke {
+                step,
+                parent,
+                child,
+                target,
+                method,
+                args,
+            } => Json::object([
+                ("t", Json::str("V")),
+                ("s", Json::Int(step.0 as i64)),
+                ("p", Json::Int(parent.0 as i64)),
+                ("c", Json::Int(child.0 as i64)),
+                ("o", Json::Int(target.0 as i64)),
+                ("m", Json::str(method.clone())),
+                ("a", values_to_json(args)),
+            ]),
+            WalRecord::SnapshotLocal {
+                step,
+                exec,
+                op,
+                ret,
+                anchor,
+            } => {
+                let mut fields = vec![
+                    ("t", Json::str("R")),
+                    ("s", Json::Int(step.0 as i64)),
+                    ("e", Json::Int(exec.0 as i64)),
+                    ("op", op_to_json(op)),
+                    ("r", value_to_json(ret)),
+                ];
+                if let Some(a) = anchor {
+                    fields.push(("an", Json::Int(a.0 as i64)));
+                }
+                Json::object(fields)
+            }
+            WalRecord::SnapshotComplete { step, ret } => Json::object([
+                ("t", Json::str("S")),
+                ("s", Json::Int(step.0 as i64)),
+                ("r", value_to_json(ret)),
+            ]),
         }
     }
 
@@ -328,6 +406,34 @@ impl WalRecord {
             "K" => Ok(WalRecord::CommitTop {
                 exec: ExecId(get_u32(j, "e")?),
             }),
+            "V" => Ok(WalRecord::SnapshotInvoke {
+                step: StepId(get_u32(j, "s")?),
+                parent: ExecId(get_u32(j, "p")?),
+                child: ExecId(get_u32(j, "c")?),
+                target: ObjectId(get_u32(j, "o")?),
+                method: get_str(j, "m")?.to_owned(),
+                args: j
+                    .get("a")
+                    .and_then(Json::as_array)
+                    .ok_or("snapshot invoke has no args array")?
+                    .iter()
+                    .map(value_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "R" => Ok(WalRecord::SnapshotLocal {
+                step: StepId(get_u32(j, "s")?),
+                exec: ExecId(get_u32(j, "e")?),
+                op: op_from_json(j.get("op").ok_or("snapshot local has no op")?)?,
+                ret: value_from_json(j.get("r").ok_or("snapshot local has no ret")?)?,
+                anchor: match j.get("an") {
+                    Some(_) => Some(StepId(get_u32(j, "an")?)),
+                    None => None,
+                },
+            }),
+            "S" => Ok(WalRecord::SnapshotComplete {
+                step: StepId(get_u32(j, "s")?),
+                ret: value_from_json(j.get("r").ok_or("snapshot complete has no ret")?)?,
+            }),
             other => Err(format!("unknown record tag {other:?}")),
         }
     }
@@ -386,6 +492,32 @@ mod tests {
         });
         round_trip(WalRecord::Abort { exec: ExecId(1) });
         round_trip(WalRecord::CommitTop { exec: ExecId(0) });
+        round_trip(WalRecord::SnapshotInvoke {
+            step: StepId(5),
+            parent: ExecId(2),
+            child: ExecId(3),
+            target: ObjectId(1),
+            method: "lookup".into(),
+            args: vec![Value::Int(4)],
+        });
+        round_trip(WalRecord::SnapshotLocal {
+            step: StepId(6),
+            exec: ExecId(3),
+            op: Operation::new("Lookup", [Value::Int(4)]),
+            ret: Value::Str("v".into()),
+            anchor: Some(StepId(2)),
+        });
+        round_trip(WalRecord::SnapshotLocal {
+            step: StepId(7),
+            exec: ExecId(3),
+            op: Operation::nullary("Size"),
+            ret: Value::Int(0),
+            anchor: None,
+        });
+        round_trip(WalRecord::SnapshotComplete {
+            step: StepId(5),
+            ret: Value::Str("v".into()),
+        });
     }
 
     #[test]

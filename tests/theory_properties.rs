@@ -232,3 +232,88 @@ fn adt_conflict_specifications_are_sound() {
         );
     }
 }
+
+/// The MVCC classifier trusts `op_is_readonly` to admit operations to the
+/// scheduler-free snapshot path, so the declaration must agree with the
+/// Definition-3 ground truth on every ADT. Soundness (hard): a declared
+/// read-only operation must be an identity on every reachable state it
+/// applies to, and must commute with itself under the state-based conflict
+/// checker. Completeness (per operation family): an operation *name* whose
+/// every sampled instance is an identity everywhere must be declared
+/// read-only — a mutator family may contain degenerate identities (`Add 0`)
+/// without earning the declaration, but a genuine observer may not be
+/// under-declared. The distinguished abort operation is "read-only" by
+/// convention (it never mutates) but the classifier excludes it separately —
+/// asserted here so the convention cannot silently drift.
+#[test]
+fn readonly_declarations_match_the_definition3_checker() {
+    use obase::core::conflict::{achievable_steps, reachable_states, steps_commute_on_state};
+    use std::collections::BTreeMap;
+
+    for ty in adt::all_types() {
+        let name = ty.type_name();
+        let states = reachable_states(ty.as_ref(), 3);
+        assert!(!states.is_empty(), "{name}: no reachable states");
+        // (identity on every applicable reachable state?, declared?) per op.
+        let mut families: BTreeMap<String, Vec<(bool, bool)>> = BTreeMap::new();
+        for op in ty.sample_operations() {
+            let declared = ty.op_is_readonly(&op);
+            let mut applies_somewhere = false;
+            let mut identity_everywhere = true;
+            for s in &states {
+                if let Ok((s2, _)) = ty.apply(s, &op) {
+                    applies_somewhere = true;
+                    if &s2 != s {
+                        identity_everywhere = false;
+                    }
+                }
+            }
+            assert!(applies_somewhere, "{name}: sample op {op:?} never applies");
+            assert!(
+                !declared || identity_everywhere,
+                "{name}: op_is_readonly({op:?}) but the op mutates some \
+                 reachable state — the snapshot path would serve stale data"
+            );
+            families
+                .entry(op.name.clone())
+                .or_default()
+                .push((identity_everywhere, declared));
+            if !declared {
+                continue;
+            }
+            // Definition 3 (return-value-aware commutativity): a read-only
+            // step conflicts with nothing it returns the same answer next
+            // to — in particular it must commute with itself on every state.
+            for step in achievable_steps(ty.as_ref(), &states, &op) {
+                for s in &states {
+                    let outcome = steps_commute_on_state(ty.as_ref(), s, &step, &step);
+                    assert!(
+                        !outcome.is_conflict(),
+                        "{name}: read-only step {step:?} conflicts with itself \
+                         on state {s:?}: {outcome:?}"
+                    );
+                }
+            }
+        }
+        for (op_name, instances) in families {
+            if instances.iter().all(|&(identity, _)| identity) {
+                assert!(
+                    instances.iter().all(|&(_, declared)| declared),
+                    "{name}: every sampled {op_name:?} is an identity on \
+                     every reachable state, yet op_is_readonly denies it — \
+                     an observer family is being kept off the snapshot path"
+                );
+            }
+        }
+        // The abort pseudo-operation is reported read-only by every ADT
+        // (it mutates nothing), yet it signals failure: the snapshot
+        // classifier must reject it regardless, which it can only do if
+        // `is_abort` stays distinguishable.
+        let abort = obase::core::op::Operation::abort();
+        assert!(
+            ty.op_is_readonly(&abort),
+            "{name}: the abort operation must read as non-mutating"
+        );
+        assert!(abort.is_abort());
+    }
+}
