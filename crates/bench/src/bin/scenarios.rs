@@ -107,9 +107,13 @@ fn main() {
     for path in &files {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read scenario file {path}: {e}"));
-        scenarios.push(
-            Scenario::parse(&text).unwrap_or_else(|e| panic!("bad scenario file {path}: {e}")),
-        );
+        // Parse errors carry line/column position and a caret-marked excerpt
+        // (see `Scenario::parse`); print them as a diagnostic, not a panic
+        // backtrace.
+        scenarios.push(Scenario::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad scenario file {path}:\n{e}");
+            std::process::exit(2);
+        }));
     }
 
     let mut rows: Vec<xp::Row> = Vec::new();

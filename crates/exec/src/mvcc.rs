@@ -737,7 +737,7 @@ mod tests {
 
     fn dict_def() -> (ObjectBaseDef, ObjectId) {
         let mut base = ObjectBase::new();
-        let d = base.add_object("d", Arc::new(Dictionary::default()));
+        let d = base.add_object("d", Arc::new(Dictionary));
         let mut def = ObjectBaseDef::new(Arc::new(base));
         def.define_method(
             d,

@@ -1,0 +1,211 @@
+//! The campaign loop: generate → run differentially → shrink → file.
+//!
+//! A campaign owns one seeded RNG, so the *case stream* is a pure function
+//! of the seed — two campaigns with the same seed and the same case bound
+//! produce identical outcomes. A wall-clock budget does not change the
+//! stream, only how far down it a run gets, which is what makes a
+//! time-budgeted CI smoke job sound: any case it reaches is a case a longer
+//! run would also have reached.
+
+use crate::bugbase::{self, BugEntry};
+use crate::diff::{run_differential, DiffConfig};
+use crate::gen::{generate, Coverage, GenConfig};
+use crate::shrink::shrink;
+use obase_rng::{ChaCha8Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Everything a fuzzing campaign needs.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Seed of the case stream.
+    pub seed: u64,
+    /// Wall-clock budget; the campaign stops at the first case boundary
+    /// past it.
+    pub budget: Option<Duration>,
+    /// Hard case bound. With neither bound set, the campaign runs 100
+    /// cases.
+    pub max_cases: Option<usize>,
+    /// Generator dimensions.
+    pub gen: GenConfig,
+    /// Differential battery configuration.
+    pub diff: DiffConfig,
+    /// Corpus directory for minimal reproducers (`None` = don't persist).
+    pub bugbase: Option<PathBuf>,
+    /// Predicate-evaluation budget per shrink.
+    pub shrink_tries: usize,
+    /// Stop after this many distinct bugs.
+    pub max_bugs: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            budget: None,
+            max_cases: None,
+            gen: GenConfig::default(),
+            diff: DiffConfig::default(),
+            bugbase: None,
+            shrink_tries: 600,
+            max_bugs: 5,
+        }
+    }
+}
+
+/// What a campaign did.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Cases generated and executed.
+    pub cases: usize,
+    /// Engine runs across all cases (from [`DiffStats`](crate::DiffStats)).
+    pub runs: usize,
+    /// Transactions committed across all passing runs.
+    pub committed: usize,
+    /// Crash/recovery passes performed.
+    pub recoveries: usize,
+    /// Generator coverage over the executed stream.
+    pub coverage: Coverage,
+    /// Distinct (by fingerprint) shrunk failures.
+    pub bugs: Vec<BugEntry>,
+    /// Failures dropped because their fingerprint was already seen (this
+    /// session or on disk).
+    pub duplicates: usize,
+    /// Wall-clock the campaign actually used.
+    pub elapsed: Duration,
+}
+
+/// Runs one campaign. Failures never abort the loop: each is shrunk to a
+/// minimal reproducer, fingerprinted, deduplicated against both the session
+/// and the on-disk corpus, and collected.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignOutcome {
+    let started = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut coverage = Coverage::default();
+    let mut bugs: Vec<BugEntry> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut runs = 0usize;
+    let mut committed = 0usize;
+    let mut recoveries = 0usize;
+    let mut seen: BTreeSet<String> = cfg
+        .bugbase
+        .as_deref()
+        .and_then(|dir| bugbase::load_all(dir).ok())
+        .map(|entries| entries.into_iter().map(|e| e.fingerprint).collect())
+        .unwrap_or_default();
+
+    let case_bound = match (cfg.max_cases, cfg.budget) {
+        (Some(n), _) => n,
+        (None, Some(_)) => usize::MAX,
+        (None, None) => 100,
+    };
+
+    let mut cases = 0usize;
+    while cases < case_bound {
+        if let Some(budget) = cfg.budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        if bugs.len() >= cfg.max_bugs {
+            break;
+        }
+        let case = generate(&mut rng, &cfg.gen);
+        coverage.note(&case);
+        cases += 1;
+        match run_differential(&case, &cfg.diff) {
+            Ok(stats) => {
+                runs += stats.runs;
+                committed += stats.committed;
+                recoveries += stats.recoveries;
+            }
+            Err(failure) => {
+                // Shrink while the case keeps failing the same *way*: the
+                // detail and fingerprint may drift as structure is removed,
+                // but the kind must not.
+                let kind = failure.kind;
+                let diff = cfg.diff.clone();
+                let minimal = shrink(
+                    &case,
+                    cfg.shrink_tries,
+                    &mut |candidate| matches!(run_differential(candidate, &diff), Err(f) if f.kind == kind),
+                );
+                // Re-run the minimum to capture its final failure
+                // coordinates (backend/spec may have changed en route).
+                let final_failure = run_differential(&minimal.case, &cfg.diff)
+                    .err()
+                    .unwrap_or(failure);
+                let entry = BugEntry::new(
+                    minimal.case,
+                    &final_failure,
+                    format!("campaign-seed-{}", cfg.seed),
+                );
+                if seen.contains(&entry.fingerprint) {
+                    duplicates += 1;
+                    continue;
+                }
+                seen.insert(entry.fingerprint.clone());
+                if let Some(dir) = &cfg.bugbase {
+                    if let Ok(false) = bugbase::record(dir, &entry) {
+                        duplicates += 1;
+                        continue;
+                    }
+                }
+                bugs.push(entry);
+            }
+        }
+    }
+
+    CampaignOutcome {
+        cases,
+        runs,
+        committed,
+        recoveries,
+        coverage,
+        bugs,
+        duplicates,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64, cases: usize) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            max_cases: Some(cases),
+            diff: DiffConfig {
+                workers: vec![1],
+                durable: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn a_clean_engine_yields_no_bugs() {
+        let outcome = run_campaign(&quick(3, 3));
+        assert_eq!(outcome.cases, 3);
+        assert!(outcome.bugs.is_empty());
+        assert_eq!(outcome.duplicates, 0);
+        assert!(outcome.runs > 0);
+        assert!(outcome.committed > 0);
+    }
+
+    #[test]
+    fn the_case_stream_is_deterministic_per_seed() {
+        let a = run_campaign(&quick(17, 4));
+        let b = run_campaign(&quick(17, 4));
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(
+            a.coverage.to_json().to_string(),
+            b.coverage.to_json().to_string()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! A test-only saboteur: a scheduler decorator that *drops conflict edges*.
+//!
+//! The acceptance test for a fuzzer is not "it runs" but "it finds a real
+//! bug". [`EdgeDropper`] wraps any sound scheduler and, every `period`-th
+//! time the inner scheduler says [`Decision::Block`] or abort, overrides it
+//! with [`Decision::Grant`] — exactly the failure mode of a scheduler
+//! implementation that forgets a conflict edge (a missed lock conflict, a
+//! timestamp check skipped, a certification edge not drawn). With the edge
+//! dropped, conflicting operations interleave freely and the resulting
+//! history violates the serialisability oracle, which the differential
+//! executor then catches as a [`FailureKind::Oracle`] failure and the
+//! shrinker minimises.
+//!
+//! [`Decision::Block`]: obase_core::sched::Decision::Block
+//! [`Decision::Grant`]: obase_core::sched::Decision::Grant
+//! [`FailureKind::Oracle`]: crate::diff::FailureKind::Oracle
+
+use obase_core::ids::{ExecId, ObjectId};
+use obase_core::op::{LocalStep, Operation};
+use obase_core::sched::{Decision, Scheduler, TxnView};
+use obase_runtime::SchedulerWrapper;
+use std::sync::Arc;
+
+/// A scheduler decorator that converts every `period`-th non-Grant decision
+/// of the wrapped scheduler into a grant, silently dropping the conflict
+/// edge the inner scheduler tried to enforce.
+pub struct EdgeDropper {
+    inner: Box<dyn Scheduler>,
+    period: u64,
+    denials: u64,
+}
+
+impl EdgeDropper {
+    /// Wraps `inner`; every `period`-th denial is overridden (period 1
+    /// drops every edge). `period` must be non-zero.
+    pub fn new(inner: Box<dyn Scheduler>, period: u64) -> Self {
+        assert!(period > 0, "EdgeDropper period must be non-zero");
+        EdgeDropper {
+            inner,
+            period,
+            denials: 0,
+        }
+    }
+
+    fn sabotage(&mut self, decision: Decision) -> Decision {
+        if matches!(decision, Decision::Grant) {
+            return decision;
+        }
+        self.denials += 1;
+        if self.denials.is_multiple_of(self.period) {
+            Decision::Grant
+        } else {
+            decision
+        }
+    }
+}
+
+impl Scheduler for EdgeDropper {
+    fn name(&self) -> String {
+        format!("EdgeDropper({}, 1/{})", self.inner.name(), self.period)
+    }
+
+    fn on_begin(
+        &mut self,
+        exec: ExecId,
+        parent: Option<ExecId>,
+        object: ObjectId,
+        view: &dyn TxnView,
+    ) {
+        self.inner.on_begin(exec, parent, object, view);
+    }
+
+    fn request_invoke(
+        &mut self,
+        exec: ExecId,
+        target: ObjectId,
+        method: &str,
+        view: &dyn TxnView,
+    ) -> Decision {
+        let d = self.inner.request_invoke(exec, target, method, view);
+        self.sabotage(d)
+    }
+
+    fn request_local(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        op: &Operation,
+        view: &dyn TxnView,
+    ) -> Decision {
+        let d = self.inner.request_local(exec, object, op, view);
+        self.sabotage(d)
+    }
+
+    fn validate_step(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        step: &LocalStep,
+        view: &dyn TxnView,
+    ) -> Decision {
+        let d = self.inner.validate_step(exec, object, step, view);
+        self.sabotage(d)
+    }
+
+    fn on_step_installed(
+        &mut self,
+        exec: ExecId,
+        object: ObjectId,
+        step: &LocalStep,
+        view: &dyn TxnView,
+    ) {
+        self.inner.on_step_installed(exec, object, step, view);
+    }
+
+    fn certify_commit(&mut self, exec: ExecId, view: &dyn TxnView) -> Decision {
+        let d = self.inner.certify_commit(exec, view);
+        self.sabotage(d)
+    }
+
+    fn on_commit(&mut self, exec: ExecId, view: &dyn TxnView) {
+        self.inner.on_commit(exec, view);
+    }
+
+    fn on_abort(&mut self, exec: ExecId, view: &dyn TxnView) {
+        self.inner.on_abort(exec, view);
+    }
+
+    // Never decompose: the saboteur's denial counter is global state, and
+    // the planted bug should reproduce identically on every backend.
+    fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
+        None
+    }
+}
+
+/// A [`SchedulerWrapper`] installing an [`EdgeDropper`] with the given
+/// period — plug it into
+/// [`DiffConfig::saboteur`](crate::diff::DiffConfig::saboteur) to plant an
+/// oracle violation for the fuzzer to find.
+pub fn edge_dropper(period: u64) -> SchedulerWrapper {
+    Arc::new(move |inner| Box::new(EdgeDropper::new(inner, period)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obase_core::sched::AbortReason;
+
+    struct AlwaysBlock;
+    impl Scheduler for AlwaysBlock {
+        fn name(&self) -> String {
+            "AlwaysBlock".into()
+        }
+        fn request_invoke(
+            &mut self,
+            _exec: ExecId,
+            _target: ObjectId,
+            _method: &str,
+            _view: &dyn TxnView,
+        ) -> Decision {
+            Decision::block([ExecId(9)])
+        }
+        fn certify_commit(&mut self, _exec: ExecId, _view: &dyn TxnView) -> Decision {
+            Decision::Abort(AbortReason::Injected)
+        }
+    }
+
+    struct NoView;
+    impl TxnView for NoView {
+        fn parent(&self, _e: ExecId) -> Option<ExecId> {
+            None
+        }
+        fn object_of(&self, _e: ExecId) -> ObjectId {
+            ObjectId(0)
+        }
+        fn type_of(&self, _o: ObjectId) -> obase_core::object::TypeHandle {
+            std::sync::Arc::new(obase_core::testutil::IntRegister)
+        }
+        fn is_live(&self, _e: ExecId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn every_second_denial_is_dropped() {
+        let mut d = EdgeDropper::new(Box::new(AlwaysBlock), 2);
+        let granted = (0..10)
+            .filter(|_| {
+                matches!(
+                    d.request_invoke(ExecId(0), ObjectId(0), "m", &NoView),
+                    Decision::Grant
+                )
+            })
+            .count();
+        assert_eq!(granted, 5);
+    }
+
+    #[test]
+    fn period_one_drops_every_edge_including_certification() {
+        let mut d = EdgeDropper::new(Box::new(AlwaysBlock), 1);
+        for _ in 0..4 {
+            assert!(matches!(
+                d.request_invoke(ExecId(0), ObjectId(0), "m", &NoView),
+                Decision::Grant
+            ));
+            assert!(matches!(
+                d.certify_commit(ExecId(0), &NoView),
+                Decision::Grant
+            ));
+        }
+    }
+}

@@ -22,6 +22,7 @@ use crate::table::{LockKey, LockTable};
 use obase_core::ids::{ExecId, ObjectId};
 use obase_core::op::Operation;
 use obase_core::sched::{Decision, Scheduler, TxnView};
+use std::collections::BTreeMap;
 
 /// Locking flavour of the flat baseline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -32,11 +33,30 @@ pub enum FlatMode {
     ReadWrite,
 }
 
+/// One invocation admitted into an object: who invoked it and, once the
+/// method execution has begun, which execution it is. An occupancy with no
+/// child yet is in the grant-to-begin window and admits nobody.
+#[derive(Debug)]
+struct Occupancy {
+    invoker: ExecId,
+    child: Option<ExecId>,
+}
+
 /// The flat (Gemstone-style) strict two-phase locking scheduler.
 #[derive(Debug)]
 pub struct FlatObjectScheduler {
     table: LockTable,
     mode: FlatMode,
+    /// The baseline's own premise — "only one method execution can be
+    /// active at each object at any one time" — enforced *within* each
+    /// top-level transaction, keyed `(object, top)`. Across transactions
+    /// the 2PL object locks already serialise access, but parallel sibling
+    /// sub-executions of one transaction share their top's locks, so
+    /// without this gate they interleave freely on the same object and
+    /// produce intra-transaction serialisation cycles (found by the
+    /// differential fuzzer; see `bugbase/`). Nested re-invocations from
+    /// within the active execution's own computation remain admissible.
+    active: BTreeMap<(ObjectId, ExecId), Vec<Occupancy>>,
 }
 
 impl FlatObjectScheduler {
@@ -45,6 +65,7 @@ impl FlatObjectScheduler {
         FlatObjectScheduler {
             table: LockTable::new(),
             mode: FlatMode::Exclusive,
+            active: BTreeMap::new(),
         }
     }
 
@@ -53,6 +74,7 @@ impl FlatObjectScheduler {
         FlatObjectScheduler {
             table: LockTable::new(),
             mode: FlatMode::ReadWrite,
+            active: BTreeMap::new(),
         }
     }
 
@@ -81,6 +103,52 @@ impl FlatObjectScheduler {
             Decision::block(blockers)
         }
     }
+
+    /// The intra-transaction occupancy gate: admit the invocation only if
+    /// every execution currently active at `object` within `exec`'s
+    /// transaction encloses the requester (a nested re-invocation from
+    /// inside the active computation). On grant the slot is reserved
+    /// immediately — the method execution is bound to it in
+    /// [`Scheduler::on_begin`] — so two parallel siblings racing for the
+    /// same object cannot both slip through the grant-to-begin window.
+    fn admit_invocation(&mut self, exec: ExecId, object: ObjectId, view: &dyn TxnView) -> Decision {
+        let top = view.top_level_of(exec);
+        let occupants = self.active.entry((object, top)).or_default();
+        let blockers: Vec<ExecId> = occupants
+            .iter()
+            .filter(|o| match o.child {
+                Some(child) => !view.is_ancestor(child, exec),
+                None => true, // unbound reservation: admits nobody yet
+            })
+            .map(|o| o.child.unwrap_or(o.invoker))
+            .collect();
+        if blockers.is_empty() {
+            occupants.push(Occupancy {
+                invoker: exec,
+                child: None,
+            });
+            Decision::Grant
+        } else {
+            Decision::block(blockers)
+        }
+    }
+
+    /// Drops every occupancy slot held by the finished execution `exec`
+    /// (and, for a top-level completion, the transaction's whole residue —
+    /// reservations whose execution never began because the transaction
+    /// was interrupted between grant and begin).
+    fn vacate(&mut self, exec: ExecId, view: &dyn TxnView) {
+        if view.parent(exec).is_none() {
+            self.active.retain(|(_, top), _| *top != exec);
+        } else {
+            let top = view.top_level_of(exec);
+            for ((_, t), occupants) in self.active.iter_mut() {
+                if *t == top {
+                    occupants.retain(|o| o.child != Some(exec));
+                }
+            }
+        }
+    }
 }
 
 impl Scheduler for FlatObjectScheduler {
@@ -91,6 +159,26 @@ impl Scheduler for FlatObjectScheduler {
         }
     }
 
+    fn on_begin(
+        &mut self,
+        exec: ExecId,
+        parent: Option<ExecId>,
+        object: ObjectId,
+        view: &dyn TxnView,
+    ) {
+        // Bind the method execution to the slot its invoker reserved.
+        let Some(parent) = parent else { return };
+        let top = view.top_level_of(exec);
+        if let Some(occupants) = self.active.get_mut(&(object, top)) {
+            if let Some(slot) = occupants
+                .iter_mut()
+                .find(|o| o.invoker == parent && o.child.is_none())
+            {
+                slot.child = Some(exec);
+            }
+        }
+    }
+
     fn request_invoke(
         &mut self,
         exec: ExecId,
@@ -98,10 +186,15 @@ impl Scheduler for FlatObjectScheduler {
         _method: &str,
         view: &dyn TxnView,
     ) -> Decision {
-        match self.mode {
-            FlatMode::Exclusive => self.acquire_object_lock(exec, target, true, view),
-            FlatMode::ReadWrite => Decision::Grant,
+        // The inter-transaction lock first (exclusive mode only), then the
+        // intra-transaction occupancy gate (both modes).
+        if self.mode == FlatMode::Exclusive {
+            let lock = self.acquire_object_lock(exec, target, true, view);
+            if !lock.is_grant() {
+                return lock;
+            }
         }
+        self.admit_invocation(exec, target, view)
     }
 
     fn request_local(
@@ -123,24 +216,28 @@ impl Scheduler for FlatObjectScheduler {
 
     fn on_commit(&mut self, exec: ExecId, view: &dyn TxnView) {
         // Only the top-level commit releases locks (strict 2PL over the flat
-        // transaction).
+        // transaction); occupancy slots free as each execution finishes.
+        self.vacate(exec, view);
         if view.parent(exec).is_none() {
             self.table.inherit_or_release(exec, None);
         }
     }
 
     fn on_abort(&mut self, exec: ExecId, view: &dyn TxnView) {
+        self.vacate(exec, view);
         if view.parent(exec).is_none() {
             self.table.release_all(exec);
         }
     }
 
     fn fork_object_shard(&self) -> Option<Box<dyn Scheduler>> {
-        // Whole-object strict 2PL: lock state is keyed per object, and lock
-        // ownership resolves through the immutable genealogy only.
+        // Whole-object strict 2PL: lock and occupancy state are keyed per
+        // object, and ownership resolves through the immutable genealogy
+        // only.
         Some(Box::new(FlatObjectScheduler {
             table: LockTable::new(),
             mode: self.mode,
+            active: BTreeMap::new(),
         }))
     }
 }

@@ -36,6 +36,16 @@ pub enum ConfigError {
     /// The same object was given two intra-object policies in one `Mixed`
     /// spec.
     DuplicateMixedObject(ObjectId),
+    /// A fault-plan gate window whose start lies after its end
+    /// (`from > until`). Such a window can never contain a gate, so the
+    /// plan it configures would silently inject nothing — rejected at
+    /// build time instead.
+    InvertedFaultWindow {
+        /// First gate of the window.
+        from: u64,
+        /// First gate past the window.
+        until: u64,
+    },
     /// The registry has no factory for a spec kind.
     UnknownKind(String),
     /// A serialised spec did not parse or had the wrong shape.
@@ -72,6 +82,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "object {o} has two intra-object policies in one mixed spec"
+                )
+            }
+            ConfigError::InvertedFaultWindow { from, until } => {
+                write!(
+                    f,
+                    "inverted fault window: first gate {from} lies after the \
+                     window's end {until}, so it could never fire"
                 )
             }
             ConfigError::UnknownKind(kind) => {

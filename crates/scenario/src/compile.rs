@@ -155,41 +155,6 @@ impl Picker {
     }
 }
 
-#[cfg(test)]
-mod picker_tests {
-    use super::*;
-
-    /// The documented partitioned guarantee: slices are disjoint and cover
-    /// the domain even when the partition count does not divide it.
-    #[test]
-    fn partitioned_slices_are_disjoint_even_when_uneven() {
-        let n = 5;
-        let partitions = 4;
-        let picker = Picker::new(KeyDist::Partitioned { partitions }, n);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut owner = vec![None; n];
-        for txn in 0..200 {
-            let part = txn % partitions;
-            let idx = picker.pick(txn, &mut rng);
-            match owner[idx] {
-                None => owner[idx] = Some(part),
-                Some(p) => assert_eq!(p, part, "index {idx} drawn by partitions {p} and {part}"),
-            }
-        }
-        // Every index is reachable by exactly one partition.
-        assert!(owner.iter().all(Option::is_some));
-    }
-
-    #[test]
-    fn more_partitions_than_items_still_draws_in_range() {
-        let picker = Picker::new(KeyDist::Partitioned { partitions: 9 }, 3);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        for txn in 0..50 {
-            assert!(picker.pick(txn, &mut rng) < 3);
-        }
-    }
-}
-
 /// Argument pair for one invocation branch: `(key-ish, value-ish)`.
 fn branch_args(adt: AdtKind, key: usize, keys: usize, rng: &mut ChaCha8Rng) -> (Value, Value) {
     match adt {
@@ -355,5 +320,40 @@ impl Scenario {
             .collect();
 
         WorkloadSpec { def, transactions }
+    }
+}
+
+#[cfg(test)]
+mod picker_tests {
+    use super::*;
+
+    /// The documented partitioned guarantee: slices are disjoint and cover
+    /// the domain even when the partition count does not divide it.
+    #[test]
+    fn partitioned_slices_are_disjoint_even_when_uneven() {
+        let n = 5;
+        let partitions = 4;
+        let picker = Picker::new(KeyDist::Partitioned { partitions }, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut owner = vec![None; n];
+        for txn in 0..200 {
+            let part = txn % partitions;
+            let idx = picker.pick(txn, &mut rng);
+            match owner[idx] {
+                None => owner[idx] = Some(part),
+                Some(p) => assert_eq!(p, part, "index {idx} drawn by partitions {p} and {part}"),
+            }
+        }
+        // Every index is reachable by exactly one partition.
+        assert!(owner.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn more_partitions_than_items_still_draws_in_range() {
+        let picker = Picker::new(KeyDist::Partitioned { partitions: 9 }, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for txn in 0..50 {
+            assert!(picker.pick(txn, &mut rng) < 3);
+        }
     }
 }

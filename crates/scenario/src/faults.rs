@@ -35,6 +35,7 @@ use obase_core::ids::{ExecId, ObjectId};
 use obase_core::op::{LocalStep, Operation};
 use obase_core::sched::{AbortReason, Decision, Scheduler, TxnView};
 use obase_rng::{ChaCha8Rng, Rng, SeedableRng};
+use obase_runtime::ConfigError;
 use std::collections::BTreeMap;
 
 /// The fault-injecting scheduler decorator. See the module docs.
@@ -62,15 +63,18 @@ impl std::fmt::Debug for FaultInjector {
 
 impl FaultInjector {
     /// Wraps `inner`, executing `plan` with a ChaCha8 stream seeded by
-    /// `seed`.
-    pub fn new(inner: Box<dyn Scheduler>, plan: FaultPlan, seed: u64) -> Self {
-        FaultInjector {
+    /// `seed`. Rejects plans whose gate windows are inverted
+    /// ([`FaultPlan::validate`]): a window that can never contain a gate
+    /// would silently turn the storm into a no-op.
+    pub fn new(inner: Box<dyn Scheduler>, plan: FaultPlan, seed: u64) -> Result<Self, ConfigError> {
+        plan.validate()?;
+        Ok(FaultInjector {
             inner,
             plan,
             rng: ChaCha8Rng::seed_from_u64(seed),
             gates: 0,
             stalled: BTreeMap::new(),
-        }
+        })
     }
 
     /// Stall gate: `Some(Block)` if the execution is (or just became)

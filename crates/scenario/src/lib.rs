@@ -106,10 +106,16 @@ impl Scenario {
             builder = builder.deadline(Duration::from_millis(ms));
         }
         if !self.faults.is_noop() {
+            // Validate here, where an error can still be returned: the
+            // wrap_scheduler closure below runs too late to refuse.
+            self.faults.validate()?;
             let plan = self.faults.clone();
             let seed = self.seed;
             builder = builder.wrap_scheduler(move |inner| {
-                Box::new(FaultInjector::new(inner, plan.clone(), seed))
+                Box::new(
+                    FaultInjector::new(inner, plan.clone(), seed)
+                        .expect("fault plan validated above"),
+                )
             });
         }
         builder.build()
@@ -279,5 +285,56 @@ mod tests {
         let mut s = by_name("hot-queue").unwrap();
         s.seed = u64::MAX;
         assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn inverted_storm_windows_are_rejected_not_silently_noop() {
+        let inverted = Storm {
+            from: 200,
+            until: 100,
+            rate: 0.5,
+        };
+        // The plan itself refuses to validate with the typed error...
+        let plan = FaultPlan {
+            storm: Some(inverted),
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            plan.validate(),
+            Err(ConfigError::InvertedFaultWindow {
+                from: 200,
+                until: 100
+            })
+        );
+        // ...the injector refuses to be built from it...
+        let inner = obase_runtime::SchedulerRegistry::with_builtins()
+            .instantiate(&obase_runtime::SchedulerSpec::n2pl_operation())
+            .expect("basic spec instantiates");
+        assert!(matches!(
+            FaultInjector::new(inner, plan, 7),
+            Err(ConfigError::InvertedFaultWindow { .. })
+        ));
+        // ...the runtime builder path surfaces the same error instead of
+        // running chaos that never fires...
+        let mut s = by_name("abort-storm").unwrap();
+        s.faults.storm = Some(inverted);
+        assert_eq!(
+            s.runtime(s.specs[0].clone(), ExecutionBackend::Simulated)
+                .err(),
+            Some(ConfigError::InvertedFaultWindow {
+                from: 200,
+                until: 100
+            })
+        );
+        // ...and scenario-level validation catches it up front.
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+        // An empty-but-not-inverted window (from == until) stays legal.
+        s.faults.storm = Some(Storm {
+            from: 100,
+            until: 100,
+            rate: 0.5,
+        });
+        assert!(s.faults.validate().is_ok());
+        assert!(s.validate().is_ok());
     }
 }

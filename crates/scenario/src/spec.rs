@@ -10,7 +10,7 @@
 
 use obase_core::object::TypeHandle;
 use obase_core::value::Value;
-use obase_runtime::SchedulerSpec;
+use obase_runtime::{ConfigError, SchedulerSpec};
 use obase_ser::Json;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -249,6 +249,23 @@ impl FaultPlan {
     pub fn is_noop(&self) -> bool {
         self.doom_rate <= 0.0 && self.storm.is_none() && self.stall_rate <= 0.0
     }
+
+    /// Checks the plan's gate windows. An inverted storm window
+    /// (`from > until`) contains no gate at all, so the storm it promises
+    /// could never fire; rather than silently running a no-op plan, the
+    /// injector refuses to be built from one
+    /// ([`ConfigError::InvertedFaultWindow`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(s) = &self.storm {
+            if s.from > s.until {
+                return Err(ConfigError::InvertedFaultWindow {
+                    from: s.from,
+                    until: s.until,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A complete declarative scenario: population, mix, faults, scheduler
@@ -314,6 +331,12 @@ impl Scenario {
         if let Some(s) = &self.faults.storm {
             if s.from > i64::MAX as u64 || s.until > i64::MAX as u64 {
                 return bad("storm gates must fit in an i64 (the JSON integer range)".into());
+            }
+            if s.from > s.until {
+                return bad(format!(
+                    "inverted storm window: first gate {} lies after the window's end {}",
+                    s.from, s.until
+                ));
             }
         }
         if let Some(c) = &self.faults.crash {
@@ -497,8 +520,12 @@ impl Scenario {
     }
 
     /// Parses and validates a scenario from JSON text.
+    ///
+    /// Malformed JSON reports the failure's line/column and a caret-marked
+    /// excerpt ([`ParseError::render`](obase_ser::ParseError::render)), not
+    /// just a byte offset.
     pub fn parse(input: &str) -> Result<Scenario, ScenarioError> {
-        let json = Json::parse(input).map_err(|e| ScenarioError::BadJson(e.to_string()))?;
+        let json = Json::parse(input).map_err(|e| ScenarioError::BadJson(e.render(input)))?;
         let scenario = Scenario::from_json(&json)?;
         scenario.validate()?;
         Ok(scenario)

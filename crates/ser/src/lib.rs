@@ -189,6 +189,57 @@ pub struct ParseError {
     pub message: String,
 }
 
+impl ParseError {
+    /// The 1-based line and column of the failure offset within `input`.
+    ///
+    /// The column counts bytes from the start of the line, which matches how
+    /// editors address ASCII-dominated JSON; an offset past the end of the
+    /// input (end-of-document errors) reports the position just after the
+    /// last byte.
+    pub fn line_col(&self, input: &str) -> (usize, usize) {
+        let upto = &input.as_bytes()[..self.offset.min(input.len())];
+        let line = upto.iter().filter(|b| **b == b'\n').count() + 1;
+        let col = upto.len() - upto.iter().rposition(|b| *b == b'\n').map_or(0, |p| p + 1) + 1;
+        (line, col)
+    }
+
+    /// Renders the error with its line/column position and a caret-marked
+    /// excerpt of the offending line, for human-facing diagnostics:
+    ///
+    /// ```text
+    /// JSON parse error at line 3, column 14: expected ':' after object key
+    ///   "clients" 4,
+    ///              ^
+    /// ```
+    ///
+    /// Long lines are windowed around the failure column so the caret stays
+    /// visible. `input` must be the same document the error came from.
+    pub fn render(&self, input: &str) -> String {
+        let (line, col) = self.line_col(input);
+        let text = input.lines().nth(line - 1).unwrap_or("");
+        // Window the line to at most 60 bytes around the failure column.
+        let start = (col - 1).saturating_sub(30).min(text.len());
+        let end = (start + 60).min(text.len());
+        // Don't split multi-byte characters at the window edges.
+        let start = (0..=start)
+            .rev()
+            .find(|i| text.is_char_boundary(*i))
+            .unwrap_or(0);
+        let end = (end..=text.len())
+            .find(|i| text.is_char_boundary(*i))
+            .unwrap_or(text.len());
+        let excerpt = &text[start..end];
+        let caret_at = (col - 1).saturating_sub(start).min(excerpt.len());
+        format!(
+            "JSON parse error at line {line}, column {col}: {}\n  {}{excerpt}{}\n  {}^",
+            self.message,
+            if start > 0 { "…" } else { "" },
+            if end < text.len() { "…" } else { "" },
+            " ".repeat(caret_at + if start > 0 { 1 } else { 0 }),
+        )
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -497,5 +548,46 @@ mod tests {
         let e = Json::parse("[1, x]").unwrap_err();
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_error_renders_line_column_and_caret() {
+        let doc = "{\n  \"name\": \"x\",\n  \"clients\" 4\n}";
+        let e = Json::parse(doc).unwrap_err();
+        let (line, col) = e.line_col(doc);
+        assert_eq!(line, 3);
+        assert_eq!(col, 13);
+        let rendered = e.render(doc);
+        assert!(rendered.contains("line 3, column 13"), "{rendered}");
+        // The excerpt is the offending line, and the caret sits under the
+        // failure column.
+        let mut lines = rendered.lines();
+        lines.next();
+        assert_eq!(lines.next(), Some("    \"clients\" 4"));
+        assert_eq!(lines.next(), Some("              ^"));
+    }
+
+    #[test]
+    fn parse_error_render_windows_long_lines() {
+        let doc = format!("[{} x]", "1,".repeat(200));
+        let e = Json::parse(&doc).unwrap_err();
+        let rendered = e.render(&doc);
+        // The excerpt is clipped on both sides and keeps the caret visible.
+        assert!(rendered.contains('…'), "{rendered}");
+        assert!(
+            rendered.lines().last().unwrap().ends_with('^'),
+            "{rendered}"
+        );
+        let excerpt = rendered.lines().nth(1).unwrap();
+        assert!(excerpt.len() < 80, "{rendered}");
+    }
+
+    #[test]
+    fn parse_error_at_end_of_input_renders() {
+        let doc = "{\"a\": ";
+        let e = Json::parse(doc).unwrap_err();
+        let (line, col) = e.line_col(doc);
+        assert_eq!((line, col), (1, 7));
+        assert!(e.render(doc).ends_with('^'));
     }
 }

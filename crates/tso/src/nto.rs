@@ -39,6 +39,14 @@ pub enum NtoStyle {
     Provisional,
 }
 
+/// One execution's record of having issued an operation at an object. Kept
+/// per `(op, issuer)` — not as a single per-operation maximum — because
+/// [`Scheduler::on_abort`] must erase an aborted execution's records
+/// without also erasing the (still-binding) accesses of live and committed
+/// executions it happened to shadow. A single shared maximum loses exactly
+/// that information: once its issuer aborts, earlier conflicting accesses
+/// by others become invisible and rule 1 silently stops being enforced
+/// (found by the differential fuzzer; see `bugbase/`).
 #[derive(Clone, Debug)]
 struct RetainedOp {
     op: Operation,
@@ -157,12 +165,14 @@ impl NtoScheduler {
                 return Decision::Abort(AbortReason::TimestampOrder);
             }
         }
-        // Admit: update (or insert) the per-operation maximum timestamp.
-        match retained.iter_mut().find(|r| r.op == *op) {
+        // Admit: record the access, one entry per (operation, issuer).
+        match retained
+            .iter_mut()
+            .find(|r| r.op == *op && r.issuer == exec)
+        {
             Some(r) => {
                 if my_ts > r.max_hts {
                     r.max_hts = my_ts;
-                    r.issuer = exec;
                 }
             }
             None => retained.push(RetainedOp {

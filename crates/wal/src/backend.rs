@@ -126,7 +126,26 @@ impl WalBackend {
                     )));
                 }
             }
-            _ => return Err(WalError::MissingHeader(path.to_owned())),
+            // A complete first record that is not a header means this is not
+            // our log at all — refuse rather than reinterpret foreign data.
+            Some(_) => return Err(WalError::MissingHeader(path.to_owned())),
+            // Zero complete records: the crash tore the log inside the very
+            // first frame (kill-at-any-point includes the header write), or
+            // nothing was ever written. Either way the durable state is total
+            // loss — recover to the base state with zero commits.
+            None => {
+                let raw_history = HistoryBuilder::new(Arc::clone(&self.base)).build();
+                let history = raw_history.committed_projection();
+                return Ok(Recovered {
+                    history,
+                    raw_history,
+                    committed: Vec::new(),
+                    rolled_back: Vec::new(),
+                    final_states: self.base.initial_states(),
+                    records: 0,
+                    torn,
+                });
+            }
         }
 
         let mut builder = HistoryBuilder::new(Arc::clone(&self.base));
@@ -283,6 +302,22 @@ impl WalBackend {
             }
             replayed += 1;
         }
+
+        // A torn tail can keep an execution's abort record while losing its
+        // descendants': the kernel logs one abort record per subtree member
+        // and the crash can fall between them. Aborting an execution aborts
+        // its whole subtree, so close the set over child links before it
+        // filters the per-object step logs — otherwise an orphaned child's
+        // installed effects leak into the recovered state while the history
+        // side (where `effectively_aborted` propagates through ancestors)
+        // correctly discards them (found by the differential fuzzer; see
+        // `bugbase/`).
+        let orphans: Vec<ExecId> = aborted
+            .iter()
+            .flat_map(|e| subtree_of(&children, *e))
+            .filter(|e| !aborted.contains(e))
+            .collect();
+        aborted.extend(orphans);
 
         // Phase 3+4: roll back every started-but-unresolved top, then
         // cascade through dirty reads the removals expose, to a fixpoint.
@@ -442,5 +477,78 @@ impl Recovered {
                 "recovered state of {o} diverges from committed-history replay"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{encode_frame, scan};
+    use obase_exec::WorkloadSpec;
+    use std::path::PathBuf;
+
+    fn run_sample(tag: &str) -> (WorkloadSpec, PathBuf) {
+        let workload = obase_workload::queues(&obase_workload::QueueParams {
+            queues: 1,
+            producers: 2,
+            consumers: 2,
+            preload: 2,
+            seed: 7,
+        });
+        let dir = crate::scratch_dir(tag);
+        let mut sched = obase_lock::N2plScheduler::step_locks();
+        execute_durable(&workload, &mut sched, &ExecParams::default(), &dir, 1)
+            .expect("sample run executes");
+        (workload, dir)
+    }
+
+    /// Kill-at-any-point includes the header write: a crash can tear the
+    /// log *inside the very first frame*, before the header record is
+    /// durable. Every such cut — and the empty, never-written file — is
+    /// total loss, and recovery must return the base state with zero
+    /// commits rather than refuse with `MissingHeader`. Found by the
+    /// differential fuzzer (see `bugbase/`).
+    #[test]
+    fn a_cut_inside_the_header_frame_recovers_to_the_base_state() {
+        let (workload, dir) = run_sample("wal-header-torn");
+        let path = log_path(&dir);
+        let full = std::fs::read(&path).expect("log exists");
+        let header_end = scan(&path).expect("scan").frame_ends[0] as usize;
+        let backend = WalBackend::new(Arc::clone(workload.def.base()));
+        for cut in 0..header_end {
+            std::fs::write(&path, &full[..cut]).expect("apply cut");
+            let recovered = backend
+                .recover(&dir)
+                .unwrap_or_else(|e| panic!("cut at {cut} must recover as total loss: {e}"));
+            assert!(recovered.committed.is_empty(), "cut at {cut}");
+            assert!(recovered.rolled_back.is_empty(), "cut at {cut}");
+            assert_eq!(recovered.records, 0, "cut at {cut}");
+            assert_eq!(recovered.torn, cut != 0, "cut at {cut}");
+            assert_eq!(
+                recovered.final_states,
+                workload.def.base().initial_states(),
+                "cut at {cut}: total loss must land on the base state"
+            );
+            recovered.assert_serialisable();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The foreign-log protection survives the total-loss carve-out: a file
+    /// whose first *complete* record is not a header is some other format,
+    /// and recovery still refuses to reinterpret it.
+    #[test]
+    fn a_complete_non_header_first_record_is_still_refused() {
+        let (workload, dir) = run_sample("wal-foreign");
+        let frame = encode_frame(&WalRecord::BeginTop {
+            exec: ExecId(0),
+            name: "T0".to_owned(),
+        });
+        std::fs::write(log_path(&dir), frame).expect("plant foreign log");
+        let err = WalBackend::new(Arc::clone(workload.def.base()))
+            .recover(&dir)
+            .expect_err("a non-header first record is a foreign log");
+        assert!(matches!(err, WalError::MissingHeader(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

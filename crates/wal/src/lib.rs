@@ -86,7 +86,10 @@ pub enum WalError {
     /// The log's header does not match the object base handed to recovery
     /// (different objects — the log belongs to another workload).
     BaseMismatch(String),
-    /// The log has no header record (empty or foreign file).
+    /// The log's first complete record is not a header — the file is some
+    /// other format, not one of our logs. (A log torn *inside* the header
+    /// frame, or never written at all, is not this error: that is a
+    /// total-loss crash and recovery returns the base state.)
     MissingHeader(PathBuf),
 }
 
@@ -100,7 +103,7 @@ impl fmt::Display for WalError {
             WalError::MissingHeader(p) => {
                 write!(
                     f,
-                    "no header record in {} (empty or foreign log)",
+                    "first record in {} is not a header (foreign log)",
                     p.display()
                 )
             }

@@ -37,7 +37,11 @@
 //! * [`scenario`] — the declarative scenario engine: a JSON workload DSL
 //!   (client mixes, key distributions, nesting shapes over every ADT) plus
 //!   seeded fault/chaos injection, with a library of named scenarios the
-//!   backend-equivalence oracle sweeps.
+//!   backend-equivalence oracle sweeps;
+//! * [`fuzz`] — the differential scenario fuzzer: a seeded generator over
+//!   the whole scenario space, a sim/par/WAL cross-checking executor held
+//!   to the serialisability oracle, an auto-shrinker, and the `bugbase/`
+//!   corpus of minimal reproducers replayed forever in CI.
 //!
 //! ## Quickstart
 //!
@@ -88,6 +92,7 @@
 pub use obase_adt as adt;
 pub use obase_core as core;
 pub use obase_exec as exec;
+pub use obase_fuzz as fuzz;
 pub use obase_lock as lock;
 pub use obase_obs as obs;
 pub use obase_occ as occ;

@@ -1,0 +1,182 @@
+//! The fuzzer's acceptance gates.
+//!
+//! A fuzzer's acceptance test is not "it runs" but "it finds a real bug":
+//! with a planted saboteur (a scheduler decorator that drops every conflict
+//! edge — the failure mode of a missed lock conflict or a skipped timestamp
+//! check) a bounded seeded campaign must catch the oracle violation AND
+//! auto-shrink it to a minimal reproducer. The other gates hold the
+//! campaign to its determinism contract (the case stream is a pure function
+//! of the seed; a wall-clock budget only decides how far down the stream a
+//! run gets) and replay the repository's own `bugbase/` corpus — the
+//! forever-green regression suite.
+
+use obase::fuzz::{
+    bugbase, campaign::run_campaign, edge_dropper, DiffConfig, FailureKind, FuzzConfig,
+};
+use std::time::Duration;
+
+/// A small deterministic campaign configuration: simulator-only legs keep
+/// the gate fast and reproducible.
+fn sim_only(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        diff: DiffConfig {
+            workers: vec![],
+            durable: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The planted-bug gate: a saboteur dropping every conflict edge must be
+/// caught by the oracle within a bounded seeded run, and the shrinker must
+/// minimise the reproducer to at most 2 client classes at nesting depth
+/// at most 2.
+#[test]
+fn a_planted_edge_drop_is_found_and_shrunk_small() {
+    let cfg = FuzzConfig {
+        max_cases: Some(30),
+        max_bugs: 1,
+        diff: DiffConfig {
+            saboteur: Some(edge_dropper(1)),
+            ..sim_only(42).diff
+        },
+        ..sim_only(42)
+    };
+    let outcome = run_campaign(&cfg);
+    assert!(
+        !outcome.bugs.is_empty(),
+        "the saboteur dropped every conflict edge, yet {} cases found nothing",
+        outcome.cases
+    );
+    let bug = &outcome.bugs[0];
+    assert_eq!(bug.kind, FailureKind::Oracle, "detail: {}", bug.detail);
+    let s = &bug.case.scenario;
+    assert!(
+        s.mix.len() <= 2,
+        "shrinker left {} client classes (≤ 2 expected): {}",
+        s.mix.len(),
+        s.to_json_string()
+    );
+    assert!(
+        s.mix.iter().all(|c| c.nesting.depth <= 2),
+        "shrinker left nesting depth > 2: {}",
+        s.to_json_string()
+    );
+}
+
+/// Determinism gate: two campaigns with the same seed and case bound are
+/// indistinguishable — cases, runs, commits and the whole coverage record.
+#[test]
+fn the_campaign_is_deterministic_per_seed() {
+    let cfg = FuzzConfig {
+        max_cases: Some(6),
+        ..sim_only(7)
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.cases, b.cases);
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(
+        a.coverage.to_json().to_string(),
+        b.coverage.to_json().to_string()
+    );
+    // A different seed genuinely changes the stream.
+    let c = run_campaign(&FuzzConfig {
+        max_cases: Some(6),
+        ..sim_only(8)
+    });
+    assert_ne!(
+        a.coverage.to_json().to_string(),
+        c.coverage.to_json().to_string()
+    );
+}
+
+/// Budget gate: a wall-clock budget does not change the case stream, only
+/// how far down it a run gets — whatever prefix a budgeted run covers, a
+/// case-bounded run over the same stream covers identically. This is what
+/// makes the time-budgeted CI smoke job sound.
+#[test]
+fn a_budget_only_truncates_the_deterministic_stream() {
+    let budgeted = run_campaign(&FuzzConfig {
+        budget: Some(Duration::from_secs(5)),
+        max_cases: Some(4),
+        ..sim_only(11)
+    });
+    assert!(budgeted.cases >= 1, "five seconds covers at least one case");
+    let bounded = run_campaign(&FuzzConfig {
+        max_cases: Some(budgeted.cases),
+        ..sim_only(11)
+    });
+    assert_eq!(budgeted.cases, bounded.cases);
+    assert_eq!(budgeted.runs, bounded.runs);
+    assert_eq!(budgeted.committed, bounded.committed);
+    assert_eq!(
+        budgeted.coverage.to_json().to_string(),
+        bounded.coverage.to_json().to_string()
+    );
+}
+
+/// Clean-engine gate: without a saboteur, a seeded sweep over the real
+/// schedulers finds nothing — every generated case passes the full oracle.
+#[test]
+fn a_clean_sweep_files_no_bugs() {
+    let outcome = run_campaign(&FuzzConfig {
+        max_cases: Some(8),
+        ..sim_only(3)
+    });
+    assert!(
+        outcome.bugs.is_empty(),
+        "clean engine produced bugs: {:?}",
+        outcome
+            .bugs
+            .iter()
+            .map(|b| format!("[{}] {}", b.kind.key(), b.detail))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(outcome.duplicates, 0);
+    assert!(outcome.committed > 0, "the sweep actually committed work");
+}
+
+/// The repository corpus replays green on the full differential battery —
+/// sim, parallel and durable legs. Every entry here was once a real,
+/// shrunk failure (or a hand-filed regression shape); a red entry means a
+/// fixed bug came back.
+#[test]
+fn the_repository_bugbase_replays_green() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("bugbase");
+    assert!(
+        dir.is_dir(),
+        "the repository ships a seeded bugbase/ corpus"
+    );
+    let cfg = DiffConfig {
+        workers: vec![1, 2],
+        durable: true,
+        wal_tag: "bugbase-gate".to_owned(),
+        saboteur: None,
+    };
+    let results = bugbase::replay_all(&dir, &cfg).expect("corpus loads");
+    assert!(!results.is_empty(), "the corpus has at least one entry");
+    let red: Vec<String> = results
+        .iter()
+        .filter_map(|(entry, result)| {
+            result.as_ref().err().map(|f| {
+                format!(
+                    "{} [{}] on {} under {}: {}",
+                    entry.fingerprint,
+                    f.kind.key(),
+                    f.backend,
+                    f.spec,
+                    f.detail
+                )
+            })
+        })
+        .collect();
+    assert!(
+        red.is_empty(),
+        "bugbase entries regressed:\n{}",
+        red.join("\n")
+    );
+}
