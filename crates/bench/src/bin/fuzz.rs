@@ -6,6 +6,7 @@
 //! cargo run -p obase-bench --release --bin fuzz                     # 100 cases, seed 42
 //! cargo run -p obase-bench --release --bin fuzz -- --budget-secs 60 # time-budgeted
 //! cargo run -p obase-bench --release --bin fuzz -- --seed 7 --cases 25
+//! cargo run -p obase-bench --release --bin fuzz -- --serve          # + the TCP wire leg
 //! cargo run -p obase-bench --release --bin fuzz -- --replay         # corpus only
 //! cargo run -p obase-bench --release --bin fuzz -- --fail-on-new    # CI smoke mode
 //! ```
@@ -40,12 +41,13 @@ fn main() {
     let mut bugbase_dir = PathBuf::from("bugbase");
     let mut workers: Vec<usize> = vec![1, 2, 8];
     let mut durable = true;
+    let mut serve = false;
     let mut replay_only = false;
     let mut fail_on_new = false;
     let mut out_path: Option<String> = None;
 
     let usage = "usage: fuzz [--seed N] [--budget-secs N] [--cases N] \
-                 [--workers CSV] [--no-durable] [--bugbase DIR] [--replay] \
+                 [--workers CSV] [--no-durable] [--serve] [--bugbase DIR] [--replay] \
                  [--fail-on-new] [--shrink-tries N] [--out PATH]";
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -71,6 +73,7 @@ fn main() {
                     .collect();
             }
             "--no-durable" => durable = false,
+            "--serve" => serve = true,
             "--bugbase" => bugbase_dir = PathBuf::from(next("--bugbase")),
             "--replay" => replay_only = true,
             "--fail-on-new" => fail_on_new = true,
@@ -89,6 +92,7 @@ fn main() {
     cfg.diff = DiffConfig {
         workers,
         durable,
+        serve,
         ..Default::default()
     };
     cfg.bugbase = Some(bugbase_dir.clone());
@@ -97,7 +101,7 @@ fn main() {
 
     if !replay_only {
         eprintln!(
-            "fuzzing: seed {}, {}, workers {:?}, durable {}...",
+            "fuzzing: seed {}, {}, workers {:?}, durable {}, serve {}...",
             cfg.seed,
             match (cfg.max_cases, cfg.budget) {
                 (Some(n), _) => format!("{n} cases"),
@@ -106,6 +110,7 @@ fn main() {
             },
             cfg.diff.workers,
             cfg.diff.durable,
+            cfg.diff.serve,
         );
         let outcome = campaign::run_campaign(&cfg);
         println!(

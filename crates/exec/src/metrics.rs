@@ -96,6 +96,42 @@ impl RunMetrics {
         }
     }
 
+    /// Folds another run's counters into this one. Used by long-lived
+    /// aggregators (the serving front end runs many batches and reports
+    /// one merged metrics document): counts add, `timed_out` sticks, and
+    /// the scheduler/backend labels stay put unless they were empty or
+    /// disagree (then `"mixed"` records that batches ran under different
+    /// line-ups, e.g. across a reconcile).
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        let merge_label = |mine: &mut String, theirs: &str| {
+            if mine.is_empty() {
+                *mine = theirs.to_owned();
+            } else if mine != theirs && !theirs.is_empty() {
+                *mine = "mixed".to_owned();
+            }
+        };
+        merge_label(&mut self.scheduler, &other.scheduler);
+        merge_label(&mut self.backend, &other.backend);
+        self.submitted += other.submitted;
+        self.committed += other.committed;
+        self.aborts += other.aborts;
+        for (reason, n) in &other.aborts_by_reason {
+            *self.aborts_by_reason.entry(reason.clone()).or_default() += n;
+        }
+        self.cascading_aborts += other.cascading_aborts;
+        self.deadlocks += other.deadlocks;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
+        self.blocked_events += other.blocked_events;
+        self.installed_steps += other.installed_steps;
+        self.wasted_steps += other.wasted_steps;
+        self.read_only_txns += other.read_only_txns;
+        self.snapshot_reads += other.snapshot_reads;
+        self.rounds += other.rounds;
+        self.wall_micros += other.wall_micros;
+        self.timed_out |= other.timed_out;
+    }
+
     /// Records an abort, bucketed by the reason's variant key.
     pub fn record_abort(&mut self, reason: &AbortReason) {
         self.aborts += 1;

@@ -49,6 +49,12 @@ pub struct DiffConfig {
     /// the hook the planted-saboteur acceptance test uses to make a sound
     /// scheduler drop conflict edges.
     pub saboteur: Option<SchedulerWrapper>,
+    /// Run the serve leg too: the case submitted over a real TCP socket
+    /// to an in-process [`obase_serve::Server`] and the merged admitted
+    /// history held to the same oracle (see
+    /// [`serve_leg`](crate::serve_leg)). Off by default — it spawns
+    /// threads and sockets per case.
+    pub serve: bool,
 }
 
 impl Default for DiffConfig {
@@ -58,6 +64,7 @@ impl Default for DiffConfig {
             durable: true,
             wal_tag: "fuzz".to_owned(),
             saboteur: None,
+            serve: false,
         }
     }
 }
@@ -69,6 +76,7 @@ impl std::fmt::Debug for DiffConfig {
             .field("durable", &self.durable)
             .field("wal_tag", &self.wal_tag)
             .field("saboteur", &self.saboteur.is_some())
+            .field("serve", &self.serve)
             .finish()
     }
 }
@@ -376,6 +384,16 @@ pub fn run_differential(case: &FuzzCase, cfg: &DiffConfig) -> Result<DiffStats, 
             )?;
             stats.runs += 1;
             stats.committed += report.metrics.committed;
+        }
+
+        // Serve leg: the same case over a real socket, same oracle.
+        if cfg.serve {
+            let workers = cfg.workers.first().copied().unwrap_or(2);
+            let committed = guarded("serve", &spec_label, || {
+                crate::serve_leg::run_serve_leg(case, spec, workers)
+            })?;
+            stats.runs += 1;
+            stats.committed += committed;
         }
 
         // Durable leg: sim-equality, recovery equality, crash plan.

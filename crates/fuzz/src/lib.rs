@@ -28,7 +28,12 @@
 //!   only decides how far down the stream a run gets);
 //! * [`planted`] — a test-only saboteur scheduler that drops conflict
 //!   edges, proving end to end that the fuzzer finds and shrinks a real
-//!   oracle violation.
+//!   oracle violation;
+//! * [`serve_leg`] — the wire leg (opt-in via
+//!   [`DiffConfig::serve`](diff::DiffConfig::serve)): the case submitted
+//!   over a real TCP socket to an in-process `obase-serve` server, with
+//!   end-to-end accounting and the merged admitted history held to the
+//!   same oracle.
 //!
 //! ```
 //! use obase_fuzz::{campaign, gen};
@@ -58,6 +63,7 @@ pub mod campaign;
 pub mod diff;
 pub mod gen;
 pub mod planted;
+pub mod serve_leg;
 pub mod shrink;
 
 pub use bugbase::BugEntry;

@@ -237,6 +237,41 @@ impl LatencyReport {
         &self.hot_shards
     }
 
+    /// Folds another report into this one: same-named phase histograms
+    /// merge bucket-wise, blocked-time attributions add up per object and
+    /// per shard, and the hot lists are re-ranked. Used by long-lived
+    /// aggregators (the serving front end's status document) that outlive
+    /// any single run.
+    pub fn merge(&mut self, other: &LatencyReport) {
+        for (name, hist) in &other.phases {
+            self.phases.entry(name.clone()).or_default().merge(hist);
+        }
+        let mut by_object: BTreeMap<ObjectId, BlockedTotal> = self.hot_objects.drain(..).collect();
+        for (o, t) in &other.hot_objects {
+            let slot = by_object.entry(*o).or_default();
+            slot.blocked_micros += t.blocked_micros;
+            slot.spans += t.spans;
+        }
+        self.hot_objects = by_object.into_iter().collect();
+        self.hot_objects.sort_by(|a, b| {
+            b.1.blocked_micros
+                .cmp(&a.1.blocked_micros)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut by_shard: BTreeMap<usize, BlockedTotal> = self.hot_shards.drain(..).collect();
+        for (s, t) in &other.hot_shards {
+            let slot = by_shard.entry(*s).or_default();
+            slot.blocked_micros += t.blocked_micros;
+            slot.spans += t.spans;
+        }
+        self.hot_shards = by_shard.into_iter().collect();
+        self.hot_shards.sort_by(|a, b| {
+            b.1.blocked_micros
+                .cmp(&a.1.blocked_micros)
+                .then(a.0.cmp(&b.0))
+        });
+    }
+
     /// The text profile: one percentile row per phase, then the top-K
     /// blocked-time attribution tables.
     pub fn render_table(&self) -> String {

@@ -46,6 +46,12 @@ pub enum ConfigError {
         /// First gate past the window.
         until: u64,
     },
+    /// A serving front end with an admission queue of depth zero: nothing
+    /// could ever be admitted.
+    ZeroQueueDepth,
+    /// A serving front end with an ingress batch bound of zero: no admitted
+    /// transaction could ever be executed.
+    ZeroBatch,
     /// The registry has no factory for a spec kind.
     UnknownKind(String),
     /// A serialised spec did not parse or had the wrong shape.
@@ -90,6 +96,12 @@ impl fmt::Display for ConfigError {
                     "inverted fault window: first gate {from} lies after the \
                      window's end {until}, so it could never fire"
                 )
+            }
+            ConfigError::ZeroQueueDepth => {
+                write!(f, "the admission queue needs a depth of at least 1")
+            }
+            ConfigError::ZeroBatch => {
+                write!(f, "ingress batches need room for at least 1 transaction")
             }
             ConfigError::UnknownKind(kind) => {
                 write!(f, "no scheduler factory registered for kind {kind:?}")

@@ -321,6 +321,18 @@ impl Scenario {
 
         WorkloadSpec { def, transactions }
     }
+
+    /// Compiles just the scenario's object base and method definitions —
+    /// the *world* without the transaction stream. This is what a serving
+    /// front end loads: the population and methods come from the scenario,
+    /// while the transactions arrive over the wire (typically the
+    /// scenario's own compiled transaction bodies, submitted by clients).
+    ///
+    /// # Panics
+    /// Panics if the scenario is invalid, like [`compile`](Scenario::compile).
+    pub fn compile_def(&self) -> ObjectBaseDef {
+        self.compile().def
+    }
 }
 
 #[cfg(test)]

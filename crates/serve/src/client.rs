@@ -1,0 +1,237 @@
+//! A blocking protocol client, used by the test battery, the load
+//! generator and the fuzzer's serve leg.
+//!
+//! The client pipelines: many submissions may be outstanding at once, and
+//! because the server's session reader (rejects, status answers) and its
+//! batch executor (results) both write to the same stream, answers arrive
+//! in no particular order relative to submissions. [`ServeClient::wait`]
+//! therefore parks out-of-order outcomes in a map and hands each one out
+//! when its correlation id is asked for.
+
+use crate::wire::{self, Frame, RejectReason, WireError, PROTOCOL_VERSION};
+use obase_exec::Program;
+use obase_ser::Json;
+use std::collections::BTreeMap;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The settled answer for one submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted and committed.
+    Committed {
+        /// Admission-to-settlement latency, microseconds.
+        latency_us: u64,
+    },
+    /// Admitted but exhausted its retry budget.
+    GaveUp {
+        /// Admission-to-settlement latency, microseconds.
+        latency_us: u64,
+    },
+    /// Refused at admission; nothing ran.
+    Rejected(RejectReason),
+    /// The whole batch failed with a typed server error.
+    Failed(String),
+}
+
+impl SubmitOutcome {
+    /// `true` for [`SubmitOutcome::Committed`].
+    pub fn is_committed(&self) -> bool {
+        matches!(self, SubmitOutcome::Committed { .. })
+    }
+
+    /// `true` if the transaction was admitted and settled (committed or
+    /// gave up) — i.e. the server accounted for it end to end.
+    pub fn is_settled(&self) -> bool {
+        matches!(
+            self,
+            SubmitOutcome::Committed { .. } | SubmitOutcome::GaveUp { .. }
+        )
+    }
+}
+
+/// A blocking connection to an `obase-serve` server.
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u64,
+    parked: BTreeMap<u64, SubmitOutcome>,
+    /// Number of objects the welcome frame reported.
+    objects: usize,
+}
+
+impl ServeClient {
+    /// Connects and completes the hello/welcome handshake.
+    pub fn connect(addr: impl ToSocketAddrs, client: &str) -> Result<ServeClient, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let mut c = ServeClient {
+            stream,
+            next_id: 1,
+            parked: BTreeMap::new(),
+            objects: 0,
+        };
+        c.send(&Frame::Hello {
+            client: client.to_owned(),
+            protocol: PROTOCOL_VERSION,
+        })?;
+        match c.read()? {
+            Frame::Welcome { objects, .. } => {
+                c.objects = objects;
+                Ok(c)
+            }
+            Frame::Error { code, detail } => Err(WireError::Protocol(format!(
+                "handshake refused: {code}: {detail}"
+            ))),
+            other => Err(WireError::Protocol(format!(
+                "expected welcome, got {:?}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Objects in the served base (from the welcome frame).
+    pub fn objects(&self) -> usize {
+        self.objects
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        wire::write_frame(&mut self.stream, frame)
+    }
+
+    fn read(&mut self) -> Result<Frame, WireError> {
+        wire::read_frame(&mut self.stream)
+    }
+
+    /// Sends one submission and returns its correlation id without
+    /// waiting for the outcome (pipelining).
+    pub fn submit(&mut self, name: &str, body: Program) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::Submit {
+            id,
+            name: name.to_owned(),
+            body,
+        })?;
+        Ok(id)
+    }
+
+    /// Blocks until the outcome for `id` arrives (parking any other
+    /// submissions' outcomes that arrive first).
+    pub fn wait(&mut self, id: u64) -> Result<SubmitOutcome, WireError> {
+        loop {
+            if let Some(outcome) = self.parked.remove(&id) {
+                return Ok(outcome);
+            }
+            match self.read()? {
+                Frame::Result {
+                    id: got,
+                    committed,
+                    latency_us,
+                } => {
+                    let outcome = if committed {
+                        SubmitOutcome::Committed { latency_us }
+                    } else {
+                        SubmitOutcome::GaveUp { latency_us }
+                    };
+                    self.parked.insert(got, outcome);
+                }
+                Frame::Reject { id: got, reason } => {
+                    self.parked.insert(got, SubmitOutcome::Rejected(reason));
+                }
+                Frame::Error { code, detail } if code == "batch-failed" => {
+                    // The server cannot say which ids were in the batch;
+                    // resolve the one being waited for.
+                    return Ok(SubmitOutcome::Failed(detail));
+                }
+                Frame::Error { code, detail } => {
+                    return Err(WireError::Protocol(format!("{code}: {detail}")));
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {:?} frame while waiting for a result",
+                        other.tag()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience for unpipelined callers.
+    pub fn submit_wait(&mut self, name: &str, body: Program) -> Result<SubmitOutcome, WireError> {
+        let id = self.submit(name, body)?;
+        self.wait(id)
+    }
+
+    /// Asks for the status document.
+    pub fn status(&mut self) -> Result<Json, WireError> {
+        self.send(&Frame::Status)?;
+        loop {
+            match self.read()? {
+                Frame::StatusReport { body } => return Ok(body),
+                // Results for pipelined submissions may arrive first.
+                Frame::Result {
+                    id,
+                    committed,
+                    latency_us,
+                } => {
+                    let outcome = if committed {
+                        SubmitOutcome::Committed { latency_us }
+                    } else {
+                        SubmitOutcome::GaveUp { latency_us }
+                    };
+                    self.parked.insert(id, outcome);
+                }
+                Frame::Reject { id, reason } => {
+                    self.parked.insert(id, SubmitOutcome::Rejected(reason));
+                }
+                Frame::Error { code, detail } => {
+                    return Err(WireError::Protocol(format!("{code}: {detail}")));
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {:?} frame while waiting for status",
+                        other.tag()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Sends a declarative reconcile and returns the changed-field list.
+    pub fn reconcile(&mut self, config: Json) -> Result<Vec<String>, WireError> {
+        self.send(&Frame::Reconcile { config })?;
+        loop {
+            match self.read()? {
+                Frame::Reconciled { changed } => return Ok(changed),
+                Frame::Result {
+                    id,
+                    committed,
+                    latency_us,
+                } => {
+                    let outcome = if committed {
+                        SubmitOutcome::Committed { latency_us }
+                    } else {
+                        SubmitOutcome::GaveUp { latency_us }
+                    };
+                    self.parked.insert(id, outcome);
+                }
+                Frame::Reject { id, reason } => {
+                    self.parked.insert(id, SubmitOutcome::Rejected(reason));
+                }
+                Frame::Error { code, detail } => {
+                    return Err(WireError::Protocol(format!("{code}: {detail}")));
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {:?} frame while waiting for reconcile",
+                        other.tag()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Polite close.
+    pub fn goodbye(mut self) {
+        let _ = self.send(&Frame::Goodbye);
+    }
+}

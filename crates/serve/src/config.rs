@@ -1,0 +1,183 @@
+//! Declarative server configuration and the reconcile diff.
+//!
+//! A [`ServeConfig`] is the server's *desired state*: scheduler line-up,
+//! worker/shard counts, admission-queue depth, ingress-batching knobs.
+//! Reconciling means handing the server a new desired state; the server
+//! diffs it against the current one, swaps atomically, and reports which
+//! fields actually changed. Reconciling the same config twice is a no-op
+//! the second time — the changed-field list is empty — which is what makes
+//! a retrying operator loop safe.
+//!
+//! Config changes take effect at the next *batch boundary*: the batch in
+//! flight finishes under the old scheduler and worker pool (the pool is
+//! per-batch, so "drain and resize" falls out of the batching design), and
+//! everything admitted afterwards runs under the new one. No in-flight
+//! transaction is ever dropped by a reconcile.
+
+use obase_runtime::{ConfigError, SchedulerSpec};
+use obase_ser::Json;
+use std::time::Duration;
+
+/// The server's desired state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// The scheduler every ingress batch runs under.
+    pub scheduler: SchedulerSpec,
+    /// Worker threads of the parallel backend.
+    pub workers: usize,
+    /// Bound of the admission queue; a full queue rejects with
+    /// [`RejectReason::QueueFull`](crate::RejectReason::QueueFull).
+    pub queue_depth: usize,
+    /// Most transactions one ingress batch may carry.
+    pub batch_max: usize,
+    /// How long the executor lingers for more submissions once a batch has
+    /// its first one (group-commit-style ingress batching).
+    pub linger: Duration,
+    /// Per-transaction retry budget inside a batch.
+    pub retries: u32,
+    /// Store shards of the parallel backend; `0` keeps the backend default.
+    pub store_shards: usize,
+    /// Settle read-only transactions through the MVCC snapshot read path.
+    pub mvcc: bool,
+    /// Retain each batch's committed history so
+    /// [`Server::shutdown`](crate::Server::shutdown) can hand back the
+    /// merged admitted history for the serialisability oracle. Costs
+    /// memory proportional to everything ever admitted — leave off for
+    /// long-running load tests.
+    pub keep_history: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            scheduler: SchedulerSpec::n2pl_operation(),
+            workers: 4,
+            queue_depth: 256,
+            batch_max: 64,
+            linger: Duration::from_millis(2),
+            retries: 8,
+            store_shards: 0,
+            mvcc: false,
+            keep_history: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the config with the runtime's typed errors.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.scheduler.validate()?;
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.batch_max == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(())
+    }
+
+    /// Names the fields in which `desired` differs from `self` — the
+    /// reconcile report. Empty means the desired state already holds.
+    pub fn diff(&self, desired: &ServeConfig) -> Vec<&'static str> {
+        let mut changed = Vec::new();
+        if self.scheduler != desired.scheduler {
+            changed.push("scheduler");
+        }
+        if self.workers != desired.workers {
+            changed.push("workers");
+        }
+        if self.queue_depth != desired.queue_depth {
+            changed.push("queue_depth");
+        }
+        if self.batch_max != desired.batch_max {
+            changed.push("batch_max");
+        }
+        if self.linger != desired.linger {
+            changed.push("linger");
+        }
+        if self.retries != desired.retries {
+            changed.push("retries");
+        }
+        if self.store_shards != desired.store_shards {
+            changed.push("store_shards");
+        }
+        if self.mvcc != desired.mvcc {
+            changed.push("mvcc");
+        }
+        if self.keep_history != desired.keep_history {
+            changed.push("keep_history");
+        }
+        changed
+    }
+
+    /// Renders the config as JSON (the shape `apply_json` accepts, and the
+    /// shape the status document embeds).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("scheduler", self.scheduler.to_json()),
+            ("workers", Json::Int(self.workers as i64)),
+            ("queue_depth", Json::Int(self.queue_depth as i64)),
+            ("batch_max", Json::Int(self.batch_max as i64)),
+            ("linger_ms", Json::Int(self.linger.as_millis() as i64)),
+            ("retries", Json::Int(i64::from(self.retries))),
+            ("store_shards", Json::Int(self.store_shards as i64)),
+            ("mvcc", Json::Bool(self.mvcc)),
+            ("keep_history", Json::Bool(self.keep_history)),
+        ])
+    }
+
+    /// Builds the desired config a `reconcile` frame describes: `self`
+    /// overridden by every field present in `json`. Absent fields keep
+    /// their current value, so a frame may carry only what it wants to
+    /// change while still being declarative (the result is a full desired
+    /// state, not a delta applied blindly).
+    pub fn apply_json(&self, json: &Json) -> Result<ServeConfig, String> {
+        let mut next = self.clone();
+        if let Some(spec) = json.get("scheduler") {
+            next.scheduler =
+                SchedulerSpec::from_json(spec).map_err(|e| format!("bad scheduler spec: {e}"))?;
+        }
+        let usize_field = |key: &str| -> Result<Option<usize>, String> {
+            match json.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_int()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be a non-negative integer")),
+            }
+        };
+        if let Some(v) = usize_field("workers")? {
+            next.workers = v;
+        }
+        if let Some(v) = usize_field("queue_depth")? {
+            next.queue_depth = v;
+        }
+        if let Some(v) = usize_field("batch_max")? {
+            next.batch_max = v;
+        }
+        if let Some(v) = usize_field("linger_ms")? {
+            next.linger = Duration::from_millis(v as u64);
+        }
+        if let Some(v) = usize_field("retries")? {
+            next.retries = u32::try_from(v).map_err(|_| "retries must fit in u32".to_owned())?;
+        }
+        if let Some(v) = usize_field("store_shards")? {
+            next.store_shards = v;
+        }
+        if let Some(v) = json.get("mvcc") {
+            next.mvcc = v
+                .as_bool()
+                .ok_or_else(|| "mvcc must be a boolean".to_owned())?;
+        }
+        if let Some(v) = json.get("keep_history") {
+            next.keep_history = v
+                .as_bool()
+                .ok_or_else(|| "keep_history must be a boolean".to_owned())?;
+        }
+        Ok(next)
+    }
+}

@@ -41,7 +41,12 @@
 //! * [`fuzz`] — the differential scenario fuzzer: a seeded generator over
 //!   the whole scenario space, a sim/par/WAL cross-checking executor held
 //!   to the serialisability oracle, an auto-shrinker, and the `bugbase/`
-//!   corpus of minimal reproducers replayed forever in CI.
+//!   corpus of minimal reproducers replayed forever in CI;
+//! * [`serve`] — the TCP front end: a length-prefixed JSON protocol over
+//!   real sockets, bounded admission with typed backpressure, ingress
+//!   batching onto the parallel backend, live desired-state reconcile of
+//!   scheduler and worker pool, and a wire status endpoint — with the
+//!   merged history of everything admitted held to the same oracle.
 //!
 //! ## Quickstart
 //!
@@ -99,6 +104,7 @@ pub use obase_occ as occ;
 pub use obase_par as par;
 pub use obase_runtime as runtime;
 pub use obase_scenario as scenario;
+pub use obase_serve as serve;
 pub use obase_tso as tso;
 pub use obase_wal as wal;
 pub use obase_workload as workload;

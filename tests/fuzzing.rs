@@ -140,6 +140,38 @@ fn a_clean_sweep_files_no_bugs() {
     assert!(outcome.committed > 0, "the sweep actually committed work");
 }
 
+/// The wire gate: with [`DiffConfig::serve`] on, every generated case is
+/// also submitted over a real TCP socket to an in-process `obase-serve`
+/// server and the merged admitted history is held to the same oracle as
+/// the in-process legs. A clean engine must stay clean through the wire.
+#[test]
+fn the_serve_leg_holds_the_wire_to_the_oracle() {
+    let outcome = run_campaign(&FuzzConfig {
+        max_cases: Some(4),
+        diff: DiffConfig {
+            workers: vec![2],
+            durable: false,
+            serve: true,
+            ..Default::default()
+        },
+        ..sim_only(11)
+    });
+    assert!(
+        outcome.bugs.is_empty(),
+        "the wire leg produced bugs on a clean engine: {:?}",
+        outcome
+            .bugs
+            .iter()
+            .map(|b| format!("[{}] on {} {}", b.kind.key(), b.backend, b.detail))
+            .collect::<Vec<_>>()
+    );
+    // Per spec: 2 sim runs + 1 parallel run + 1 serve run.
+    assert!(
+        outcome.runs >= outcome.cases * 4,
+        "the serve leg actually ran"
+    );
+}
+
 /// The repository corpus replays green on the full differential battery —
 /// sim, parallel and durable legs. Every entry here was once a real,
 /// shrunk failure (or a hand-filed regression shape); a red entry means a
@@ -156,6 +188,7 @@ fn the_repository_bugbase_replays_green() {
         durable: true,
         wal_tag: "bugbase-gate".to_owned(),
         saboteur: None,
+        serve: false,
     };
     let results = bugbase::replay_all(&dir, &cfg).expect("corpus loads");
     assert!(!results.is_empty(), "the corpus has at least one entry");
